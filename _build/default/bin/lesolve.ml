@@ -1,0 +1,469 @@
+(* lesolve — command-line driver for the language-equation solver.
+
+   Subcommands:
+     info    <blif>                       network statistics
+     reach   <blif>                       symbolic reachable-state count
+     split   <blif> -x l1,l2 [-o out]     latch splitting (writes F as BLIF)
+     solve   <blif> -x l1,l2 [...]        compute the CSF of a latch split
+     table1  [...]                        reproduce the paper's Table 1 *)
+
+module N = Network.Netlist
+module E = Equation
+
+open Cmdliner
+
+let network_arg =
+  let doc = "Input circuit in BLIF format." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"BLIF" ~doc)
+
+let latches_arg =
+  let doc =
+    "Comma-separated names of the latches to split out as the unknown \
+     component X."
+  in
+  Arg.(
+    required
+    & opt (some (list string)) None
+    & info [ "x"; "latches" ] ~docv:"LATCHES" ~doc)
+
+let method_arg =
+  let doc = "Solution method: $(b,partitioned) (default) or $(b,monolithic)." in
+  let method_conv =
+    Arg.enum
+      [ ("partitioned", E.Solve.default_partitioned);
+        ("monolithic", E.Solve.Monolithic) ]
+  in
+  Arg.(
+    value
+    & opt method_conv E.Solve.default_partitioned
+    & info [ "m"; "method" ] ~doc)
+
+let time_limit_arg =
+  let doc = "CPU-seconds budget before giving up (CNC)." in
+  Arg.(value & opt float 300.0 & info [ "time-limit" ] ~doc)
+
+let node_limit_arg =
+  let doc = "BDD-node budget before giving up (CNC)." in
+  Arg.(value & opt int 20_000_000 & info [ "node-limit" ] ~doc)
+
+let load path = Network.Blif.parse_file path
+
+(* --- info ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run path =
+    let net = load path in
+    Format.printf "%a@." N.pp_stats net;
+    Format.printf "latches:%s@."
+      (String.concat ""
+         (List.map (fun id -> " " ^ N.net_name net id) net.N.latches))
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print network statistics")
+    Term.(const run $ network_arg)
+
+(* --- reach ------------------------------------------------------------------ *)
+
+let reach_cmd =
+  let run path =
+    let net = load path in
+    let man = Bdd.Manager.create () in
+    let sym = Network.Symbolic.of_netlist man net in
+    let r, iters = Img.Reach.frontier_reachable sym in
+    Format.printf "%a@." N.pp_stats net;
+    Format.printf "reachable states: %.0f (diameter %d, %d BDD nodes)@."
+      (Img.Reach.count_states sym r)
+      (iters - 1)
+      (Bdd.Ops.size man r)
+  in
+  Cmd.v (Cmd.info "reach" ~doc:"Count reachable states symbolically")
+    Term.(const run $ network_arg)
+
+(* --- split ------------------------------------------------------------------ *)
+
+let split_cmd =
+  let out_arg =
+    let doc = "Write the fixed component F to this BLIF file." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let run path latches out =
+    let net = load path in
+    let sp = E.Split.split net ~x_latches:latches in
+    Format.printf "F: %a@." N.pp_stats sp.E.Split.f;
+    Format.printf "u = {%s}@.v = {%s}@."
+      (String.concat ", " sp.E.Split.u_names)
+      (String.concat ", " sp.E.Split.v_names);
+    match out with
+    | Some f ->
+      Network.Blif.write_file f sp.E.Split.f;
+      Format.printf "wrote %s@." f
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "split" ~doc:"Split latches out of a circuit (the F component)")
+    Term.(const run $ network_arg $ latches_arg $ out_arg)
+
+(* --- solve ------------------------------------------------------------------ *)
+
+let solve_cmd =
+  let verify_arg =
+    let doc = "Verify the result: X_P ⊆ X and F × X_P ≡ S." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let dot_arg =
+    let doc = "Write the CSF automaton to this file in DOT format." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~doc)
+  in
+  let minimize_arg =
+    let doc = "Minimize the CSF before reporting/printing." in
+    Arg.(value & flag & info [ "minimize" ] ~doc)
+  in
+  let aut_arg =
+    let doc = "Write the CSF in the .aut exchange format." in
+    Arg.(value & opt (some string) None & info [ "aut" ] ~doc)
+  in
+  let run path latches method_ time_limit node_limit verify dot minimize aut =
+    let net = load path in
+    match
+      E.Solve.solve_split ~node_limit ~time_limit ~method_ net
+        ~x_latches:latches
+    with
+    | E.Solve.Could_not_complete { cpu_seconds; reason } ->
+      Format.printf "CNC after %.1fs: %s@." cpu_seconds reason;
+      exit 2
+    | E.Solve.Completed r ->
+      Format.printf "CSF: %d states (%d subset states), %.3fs, %d BDD nodes@."
+        r.E.Solve.csf_states r.E.Solve.subset_states r.E.Solve.cpu_seconds
+        r.E.Solve.peak_nodes;
+      let csf =
+        if minimize then begin
+          let m = Fsa.Minimize.minimize (Fsa.Ops.complete r.E.Solve.csf) in
+          Format.printf "minimized: %s@." (Fsa.Print.summary m);
+          m
+        end
+        else r.E.Solve.csf
+      in
+      if verify then begin
+        let contained, equal = E.Solve.verify r in
+        Format.printf "X_P ⊆ X: %b@.F × X_P ≡ S: %b@." contained equal;
+        if not (contained && equal) then exit 3
+      end;
+      (match dot with
+       | Some f ->
+         let oc = open_out f in
+         output_string oc (Fsa.Print.to_dot ~name:"csf" csf);
+         close_out oc;
+         Format.printf "wrote %s@." f
+       | None -> ());
+      (match aut with
+       | Some f ->
+         Fsa.Aut.write_file f csf;
+         Format.printf "wrote %s@." f
+       | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Compute the complete sequential flexibility of a latch split")
+    Term.(
+      const run $ network_arg $ latches_arg $ method_arg $ time_limit_arg
+      $ node_limit_arg $ verify_arg $ dot_arg $ minimize_arg $ aut_arg)
+
+(* --- resynth ----------------------------------------------------------------- *)
+
+let resynth_cmd =
+  let out_arg =
+    let doc = "Write the synthesized replacement component as BLIF." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let kiss_arg =
+    let doc = "Also write the extracted machine in KISS2 format." in
+    Arg.(value & opt (some string) None & info [ "kiss" ] ~doc)
+  in
+  let heuristic_arg =
+    let doc = "Output-choice heuristic: $(b,first) or $(b,self-loops)." in
+    let heuristic_conv =
+      Arg.enum
+        [ ("first", E.Extract.First);
+          ("self-loops", E.Extract.Prefer_self_loops) ]
+    in
+    Arg.(value & opt heuristic_conv E.Extract.First & info [ "heuristic" ] ~doc)
+  in
+  let run path latches time_limit node_limit heuristic out kiss =
+    let net = load path in
+    match
+      E.Solve.solve_split ~node_limit ~time_limit
+        ~method_:E.Solve.default_partitioned net ~x_latches:latches
+    with
+    | E.Solve.Could_not_complete { cpu_seconds; reason } ->
+      Format.printf "CNC after %.1fs: %s@." cpu_seconds reason;
+      exit 2
+    | E.Solve.Completed r ->
+      Format.printf "CSF: %d states@." r.E.Solve.csf_states;
+      (match
+         E.Extract.resynthesize ~heuristic r.E.Solve.problem r.E.Solve.csf
+       with
+       | None ->
+         Format.printf "no Moore sub-solution found@.";
+         exit 3
+       | Some (xnet, machine) ->
+         Format.printf "extracted machine: %d states -> %a@."
+           (E.Machine.num_states machine)
+           N.pp_stats xnet;
+         let certified =
+           E.Verify.composition_with_machine r.E.Solve.problem machine
+         in
+         Format.printf "F x X' = S: %b@." certified;
+         if not certified then exit 4;
+         (match out with
+          | Some f ->
+            Network.Blif.write_file f xnet;
+            Format.printf "wrote %s@." f
+          | None -> ());
+         (match kiss with
+          | Some f ->
+            E.Kiss.write_file f machine;
+            Format.printf "wrote %s@." f
+          | None -> ()))
+  in
+  Cmd.v
+    (Cmd.info "resynth"
+       ~doc:
+         "Compute the CSF of a latch split, extract a Moore sub-solution \
+          and synthesize it back to a circuit")
+    Term.(
+      const run $ network_arg $ latches_arg $ time_limit_arg $ node_limit_arg
+      $ heuristic_arg $ out_arg $ kiss_arg)
+
+(* --- gen -------------------------------------------------------------------- *)
+
+let gen_cmd =
+  let spec_arg =
+    let doc =
+      "Circuit to generate: counter:N, gray:N, shift:N, lfsr:N, johnson:N, \
+       arbiter:N, traffic, detector:PATTERN, rnd:SEED:I:O:L:LEVELS, or a \
+       Table-1 row name (t510, t208, ...)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let out_arg =
+    let doc = "Output BLIF file (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let build spec =
+    match String.split_on_char ':' spec with
+    | [ "counter"; n ] -> Circuits.Generators.counter (int_of_string n)
+    | [ "gray"; n ] -> Circuits.Generators.gray_counter (int_of_string n)
+    | [ "shift"; n ] -> Circuits.Generators.shift_register (int_of_string n)
+    | [ "lfsr"; n ] -> Circuits.Generators.lfsr (int_of_string n)
+    | [ "johnson"; n ] -> Circuits.Generators.johnson (int_of_string n)
+    | [ "arbiter"; n ] -> Circuits.Generators.arbiter (int_of_string n)
+    | [ "traffic" ] -> Circuits.Generators.traffic_light ()
+    | [ "detector"; p ] -> Circuits.Generators.pattern_detector p
+    | [ "rnd"; seed; i; o; l; lev ] ->
+      Circuits.Generators.random_logic ~seed:(int_of_string seed)
+        ~inputs:(int_of_string i) ~outputs:(int_of_string o)
+        ~latches:(int_of_string l) ~levels:(int_of_string lev) ()
+    | [ name ] -> (
+      match Circuits.Suite.find name with
+      | row -> row.Circuits.Suite.net
+      | exception Not_found -> failwith ("unknown circuit spec: " ^ spec))
+    | _ -> failwith ("unknown circuit spec: " ^ spec)
+  in
+  let run spec out =
+    let net = build spec in
+    let text = Network.Blif.to_string net in
+    match out with
+    | Some f ->
+      let oc = open_out f in
+      output_string oc text;
+      close_out oc;
+      Format.eprintf "wrote %s (%a)@." f N.pp_stats net
+    | None -> print_string text
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a benchmark circuit as BLIF")
+    Term.(const run $ spec_arg $ out_arg)
+
+(* --- equiv ------------------------------------------------------------------- *)
+
+let equiv_cmd =
+  let second_arg =
+    let doc = "Second circuit (BLIF)." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"BLIF2" ~doc)
+  in
+  let run path1 path2 =
+    let a = load path1 and b = load path2 in
+    match Img.Equiv.check a b with
+    | Img.Equiv.Equivalent ->
+      Format.printf "sequentially equivalent@."
+    | Img.Equiv.Different trace ->
+      Format.printf "NOT equivalent; distinguishing input sequence (%d cycles):@."
+        (List.length trace);
+      let in_names =
+        List.map (fun id -> N.net_name a id) a.N.inputs
+      in
+      Format.printf "  %s@." (String.concat " " in_names);
+      List.iter
+        (fun inputs ->
+          Format.printf "  %s@."
+            (String.concat " "
+               (List.map
+                  (fun b -> if b then "1" else "0")
+                  (Array.to_list inputs))))
+        trace;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"Check sequential equivalence of two circuits (exact, symbolic)")
+    Term.(const run $ network_arg $ second_arg)
+
+(* --- optimize ------------------------------------------------------------------ *)
+
+let optimize_cmd =
+  let out_arg =
+    let doc = "Output BLIF file (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let run path out =
+    let net = load path in
+    let opt = Network.Transform.optimize net in
+    Format.eprintf "%s@." (Network.Transform.stats_delta net opt);
+    let text = Network.Blif.to_string opt in
+    match out with
+    | Some f ->
+      let oc = open_out f in
+      output_string oc text;
+      close_out oc;
+      Format.eprintf "wrote %s@." f
+    | None -> print_string text
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Constant-propagate, share and sweep a circuit's logic")
+    Term.(const run $ network_arg $ out_arg)
+
+(* --- aig -------------------------------------------------------------------- *)
+
+let aig_cmd =
+  let in_arg =
+    let doc = "Input circuit (.blif or .aag, by extension)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output file (.blif or .aag, by extension)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let load_any path =
+    if Filename.check_suffix path ".aag" then
+      Network.Aig.to_netlist (Network.Aig.parse_file path)
+    else load path
+  in
+  let run path out =
+    let net = load_any path in
+    let aig = Network.Aig.of_netlist net in
+    Format.eprintf "%a; %d AND gates@." N.pp_stats net
+      (Network.Aig.num_ands aig);
+    match out with
+    | Some f when Filename.check_suffix f ".aag" ->
+      Network.Aig.write_file f aig;
+      Format.eprintf "wrote %s@." f
+    | Some f ->
+      Network.Blif.write_file f (Network.Aig.to_netlist aig);
+      Format.eprintf "wrote %s@." f
+    | None -> print_string (Network.Aig.to_aag aig)
+  in
+  Cmd.v
+    (Cmd.info "aig"
+       ~doc:"Convert between BLIF and ASCII AIGER (with structural hashing)")
+    Term.(const run $ in_arg $ out_arg)
+
+(* --- simulate ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let cycles_arg =
+    let doc = "Number of cycles of random stimulus." in
+    Arg.(value & opt int 32 & info [ "n"; "cycles" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed for the stimulus." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc)
+  in
+  let vcd_arg =
+    let doc = "Write the waveform to this VCD file." in
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~doc)
+  in
+  let run path cycles seed vcd =
+    let net = load path in
+    let trace = Network.Vcd.random_trace ~seed net cycles in
+    (* print a compact textual table *)
+    let in_names = List.map (fun id -> N.net_name net id) net.N.inputs in
+    let out_names = List.map fst net.N.outputs in
+    Format.printf "cycle %s | %s@."
+      (String.concat " " in_names)
+      (String.concat " " out_names);
+    let st = ref (N.initial_state net) in
+    List.iteri
+      (fun t inputs ->
+        let out, st' = N.step net !st inputs in
+        let bits a =
+          String.concat " "
+            (List.map (fun b -> if b then "1" else "0") (Array.to_list a))
+        in
+        Format.printf "%5d %s | %s@." t (bits inputs) (bits out);
+        st := st')
+      trace;
+    match vcd with
+    | Some f ->
+      Network.Vcd.write_file f net trace;
+      Format.eprintf "wrote %s@." f
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Random-simulate a circuit (optionally to VCD)")
+    Term.(const run $ network_arg $ cycles_arg $ seed_arg $ vcd_arg)
+
+(* --- table1 ------------------------------------------------------------------ *)
+
+let table1_cmd =
+  let time_arg =
+    let doc = "CPU-seconds budget per run (CNC beyond it)." in
+    Arg.(value & opt float Harness.Experiments.default_time_limit
+         & info [ "time-limit" ] ~doc)
+  in
+  let nodes_arg =
+    let doc = "BDD-node budget per run (CNC beyond it)." in
+    Arg.(value & opt int Harness.Experiments.default_node_limit
+         & info [ "node-limit" ] ~doc)
+  in
+  let verify_arg =
+    let doc = "Also verify each completed partitioned result." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run time_limit node_limit verify =
+    let results =
+      Harness.Experiments.run_table1 ~time_limit ~node_limit
+        ~progress:(fun name -> Format.eprintf "running %s...@." name)
+        ()
+    in
+    Harness.Experiments.print_table1 Format.std_formatter results;
+    if verify then
+      List.iter
+        (fun r ->
+          match Harness.Experiments.verify_row r with
+          | Some (c, e) ->
+            Format.printf "%s: X_P ⊆ X = %b, F × X_P ≡ S = %b@."
+              r.Harness.Experiments.row.Circuits.Suite.name c e
+          | None -> ())
+        results
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 on the analog suite")
+    Term.(const run $ time_arg $ nodes_arg $ verify_arg)
+
+let () =
+  let doc = "language-equation solving with partitioned representations" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "lesolve" ~version:"1.0" ~doc)
+          [ info_cmd; reach_cmd; split_cmd; solve_cmd; resynth_cmd; gen_cmd;
+            equiv_cmd; optimize_cmd; simulate_cmd; aig_cmd; table1_cmd ]))

@@ -1,0 +1,1 @@
+examples/flexibility_explorer.ml: Bdd Circuits Equation Filename Format Fsa List Network String

@@ -1,0 +1,1 @@
+examples/flexibility_explorer.mli:

@@ -1,0 +1,1 @@
+examples/latch_split.ml: Array Circuits Equation Format Fsa List Network String Sys

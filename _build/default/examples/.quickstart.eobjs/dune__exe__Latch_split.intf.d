@@ -1,0 +1,1 @@
+examples/latch_split.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bdd Filename Format Fsa Img List Network

@@ -1,0 +1,1 @@
+examples/resynthesis.ml: Circuits Equation Format Fsa List Network String

@@ -1,0 +1,1 @@
+examples/supervisor.ml: Bdd Equation Format Fsa List Network String

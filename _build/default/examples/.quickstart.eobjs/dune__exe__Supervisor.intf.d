@@ -1,0 +1,1 @@
+examples/supervisor.mli:

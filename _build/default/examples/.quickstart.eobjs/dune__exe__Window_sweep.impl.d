@@ -1,0 +1,1 @@
+examples/window_sweep.ml: Array Circuits Equation Format Fsa List Network Sys

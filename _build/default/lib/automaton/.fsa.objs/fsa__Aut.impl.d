@@ -1,0 +1,1 @@
+lib/automaton/aut.ml: Array Automaton Bdd Buffer Bytes Fun Hashtbl List Ops Printf String

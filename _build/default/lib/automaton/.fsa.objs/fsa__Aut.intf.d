@@ -1,0 +1,1 @@
+lib/automaton/aut.mli: Automaton Bdd

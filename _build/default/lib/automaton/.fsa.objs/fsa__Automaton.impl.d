@@ -1,0 +1,1 @@
+lib/automaton/automaton.ml: Array Bdd Hashtbl List Printf

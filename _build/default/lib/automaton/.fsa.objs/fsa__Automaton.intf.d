@@ -1,0 +1,1 @@
+lib/automaton/automaton.mli: Bdd

@@ -1,0 +1,1 @@
+lib/automaton/from_network.ml: Array Automaton Bdd Hashtbl List Network Ops String

@@ -1,0 +1,1 @@
+lib/automaton/from_network.mli: Automaton Bdd Network

@@ -1,0 +1,1 @@
+lib/automaton/language.ml: Array Automaton Bdd Hashtbl List Ops Queue

@@ -1,0 +1,1 @@
+lib/automaton/minimize.ml: Array Automaton Bdd Hashtbl List Ops

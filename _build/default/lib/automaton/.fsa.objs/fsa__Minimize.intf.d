@@ -1,0 +1,1 @@
+lib/automaton/minimize.mli: Automaton

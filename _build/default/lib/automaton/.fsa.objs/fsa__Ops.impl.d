@@ -1,0 +1,1 @@
+lib/automaton/ops.ml: Array Automaton Bdd Hashtbl List Queue String

@@ -1,0 +1,1 @@
+lib/automaton/print.ml: Array Automaton Bdd Buffer Format List Printf String

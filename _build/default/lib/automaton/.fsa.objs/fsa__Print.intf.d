@@ -1,0 +1,1 @@
+lib/automaton/print.mli: Automaton Format

@@ -1,0 +1,43 @@
+module O = Bdd.Ops
+module N = Network.Netlist
+
+let of_netlist man ~input_vars ~output_vars (net : N.t) =
+  let ni = N.num_inputs net in
+  if List.length input_vars <> ni then
+    invalid_arg "From_network.of_netlist: input variable count mismatch";
+  if List.length output_vars <> N.num_outputs net then
+    invalid_arg "From_network.of_netlist: output variable count mismatch";
+  let states = N.reachable_states net in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun k st -> Hashtbl.replace index st k) states;
+  let n = List.length states in
+  let state_array = Array.of_list states in
+  let edges = Array.make n [] in
+  Array.iteri
+    (fun k st ->
+      for bits = 0 to (1 lsl ni) - 1 do
+        let inputs = Array.init ni (fun j -> bits land (1 lsl j) <> 0) in
+        let outputs, st' = N.step net st inputs in
+        let lits =
+          List.mapi (fun j v -> (v, inputs.(j))) input_vars
+          @ List.mapi (fun j v -> (v, outputs.(j))) output_vars
+        in
+        let guard = O.cube_of_literals man lits in
+        edges.(k) <- (guard, Hashtbl.find index st') :: edges.(k)
+      done)
+    state_array;
+  let names =
+    Array.map
+      (fun st ->
+        String.concat ""
+          (List.map (fun b -> if b then "1" else "0") (Array.to_list st)))
+      state_array
+  in
+  let t =
+    Automaton.make man
+      ~alphabet:(input_vars @ output_vars)
+      ~initial:(Hashtbl.find index (N.initial_state net))
+      ~accepting:(Array.make n true)
+      ~edges ~names ()
+  in
+  Ops.normalize_edges t

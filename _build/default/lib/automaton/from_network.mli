@@ -1,0 +1,17 @@
+(** Deriving the finite automaton of a sequential network (paper §2): the
+    automaton's alphabet is the union of the network's inputs and outputs,
+    its states are the reachable latch states (all accepting, since a
+    network is an FSM and hence prefix-closed), and each transition is
+    labeled with the (input, output) combination that causes it. The result
+    is typically incomplete: completion is a separate operation. *)
+
+val of_netlist :
+  Bdd.Manager.t ->
+  input_vars:int list ->
+  output_vars:int list ->
+  Network.Netlist.t ->
+  Automaton.t
+(** Explicit state enumeration; exponential in inputs and latches, intended
+    for moderate-size networks and for cross-validating the symbolic flows.
+    [input_vars]/[output_vars] are the BDD variables to use for the PIs and
+    POs, in declaration order. *)

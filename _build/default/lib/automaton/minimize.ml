@@ -1,0 +1,71 @@
+module M = Bdd.Manager
+module O = Bdd.Ops
+module A = Automaton
+
+(* Signature of a state under the current partition: for each target class,
+   the guard leading into it. Classes are numbered; BDD canonicity makes the
+   signature comparable structurally. *)
+let signature man (t : A.t) class_of s =
+  let by_class = Hashtbl.create 8 in
+  List.iter
+    (fun (g, d) ->
+      let c = class_of.(d) in
+      match Hashtbl.find_opt by_class c with
+      | Some g0 -> Hashtbl.replace by_class c (O.bor man g0 g)
+      | None -> Hashtbl.replace by_class c g)
+    t.edges.(s);
+  List.sort compare (Hashtbl.fold (fun c g acc -> (c, g) :: acc) by_class [])
+
+(* Partition refinement shared by DFA minimization and bisimulation
+   reduction: refine by acceptance + per-class guards until stable, then
+   build the quotient with class representatives. *)
+let refine_quotient (t : A.t) =
+  let man = t.A.man in
+  let n = A.num_states t in
+  let class_of = Array.init n (fun s -> if t.accepting.(s) then 1 else 0) in
+  let num_classes = ref 2 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let table = Hashtbl.create 16 in
+    let next = Array.make n 0 in
+    let count = ref 0 in
+    for s = 0 to n - 1 do
+      let key = (class_of.(s), signature man t class_of s) in
+      let c =
+        match Hashtbl.find_opt table key with
+        | Some c -> c
+        | None ->
+          let c = !count in
+          incr count;
+          Hashtbl.replace table key c;
+          c
+      in
+      next.(s) <- c
+    done;
+    if !count <> !num_classes then changed := true;
+    num_classes := !count;
+    Array.blit next 0 class_of 0 n
+  done;
+  let k = !num_classes in
+  let rep = Array.make k (-1) in
+  for s = n - 1 downto 0 do rep.(class_of.(s)) <- s done;
+  let accepting = Array.init k (fun c -> t.accepting.(rep.(c))) in
+  let names =
+    Array.init k (fun c -> A.state_name t rep.(c))
+  in
+  let edges =
+    Array.init k (fun c ->
+        List.map (fun (cls, g) -> (g, cls)) (signature man t class_of rep.(c)))
+  in
+  A.make man ~alphabet:t.alphabet ~initial:class_of.(t.initial) ~accepting
+    ~edges ~names ()
+
+let minimize (t : A.t) =
+  if not (A.is_deterministic t) then
+    invalid_arg "Minimize.minimize: not deterministic";
+  if not (A.is_complete t) then
+    invalid_arg "Minimize.minimize: not complete";
+  refine_quotient (Ops.trim t)
+
+let bisimulation_quotient (t : A.t) = refine_quotient (Ops.trim t)

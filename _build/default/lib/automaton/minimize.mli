@@ -1,0 +1,12 @@
+(** DFA minimization by partition refinement (Moore's algorithm lifted to
+    symbolic guards). Input must be deterministic and complete; the result is
+    the unique minimal language-equivalent DFA (up to state naming). *)
+
+val minimize : Automaton.t -> Automaton.t
+
+val bisimulation_quotient : Automaton.t -> Automaton.t
+(** The coarsest-bisimulation quotient. Unlike {!minimize}, this works on
+    nondeterministic and incomplete automata; bisimilarity implies language
+    equality, so the quotient is always language-preserving (though not
+    necessarily minimal for nondeterministic languages). Useful to shrink an
+    automaton before an expensive subset construction. *)

@@ -1,0 +1,1 @@
+lib/bdd/cube.ml: Float List Manager Ops

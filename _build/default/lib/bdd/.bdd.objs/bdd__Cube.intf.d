@@ -1,0 +1,1 @@
+lib/bdd/cube.mli: Manager

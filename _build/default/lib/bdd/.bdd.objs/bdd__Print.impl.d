@@ -1,0 +1,1 @@
+lib/bdd/print.ml: Buffer Cube Format Hashtbl List Manager Printf

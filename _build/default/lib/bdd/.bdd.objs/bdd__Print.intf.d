@@ -1,0 +1,1 @@
+lib/bdd/print.mli: Cube Format Manager

@@ -1,0 +1,1 @@
+lib/bdd/reorder.ml: Array Fun Hashtbl List Manager Ops

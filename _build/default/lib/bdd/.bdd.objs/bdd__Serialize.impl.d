@@ -1,0 +1,1 @@
+lib/bdd/serialize.ml: Buffer Hashtbl List Manager Ops Printf String

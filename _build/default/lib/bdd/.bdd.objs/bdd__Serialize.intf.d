@@ -1,0 +1,1 @@
+lib/bdd/serialize.mli: Manager

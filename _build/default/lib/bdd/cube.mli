@@ -1,0 +1,24 @@
+(** Enumeration of the cubes and minterms of a BDD. *)
+
+type literal = int * bool
+(** A literal is a variable paired with its polarity ([true] = positive). *)
+
+val iter_cubes : Manager.t -> int -> (literal list -> unit) -> unit
+(** [iter_cubes m f k] calls [k] on every path-cube of [f] (each cube is a
+    sorted literal list; variables absent from a cube are don't-cares). The
+    cubes are disjoint and their union is exactly [f]. *)
+
+val cubes : Manager.t -> int -> literal list list
+(** All path-cubes of [f], as a list. *)
+
+val iter_minterms : Manager.t -> int -> int list -> (literal list -> unit) -> unit
+(** [iter_minterms m f vars k] calls [k] on every minterm of [f] over the
+    variable set [vars] (must include the support of [f]). Exponential in
+    [vars]; intended for tests and tiny alphabets. *)
+
+val count_minterms_int : Manager.t -> int -> int -> int
+(** [count_minterms_int m f nvars] is [sat_count] rounded to an int
+    (raises [Invalid_argument] if it does not fit). *)
+
+val of_assignment : Manager.t -> literal list -> int
+(** BDD of a conjunction of literals (alias of {!Ops.cube_of_literals}). *)

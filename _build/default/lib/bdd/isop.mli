@@ -1,0 +1,14 @@
+(** Irredundant sum-of-products covers from BDDs (the Minato–Morreale ISOP
+    algorithm). Used to print functions compactly and to emit BLIF covers
+    without enumerating truth tables. *)
+
+val isop : Manager.t -> int -> int -> Cube.literal list list
+(** [isop m lower upper] computes an irredundant cube cover [f] with
+    [lower ⊆ f ⊆ upper]. Requires [lower ⊆ upper] (raises
+    [Invalid_argument] otherwise). The common call is [isop m f f]. *)
+
+val cover : Manager.t -> int -> Cube.literal list list
+(** [cover m f] = [isop m f f]: an irredundant SOP for exactly [f]. *)
+
+val cover_bdd : Manager.t -> Cube.literal list list -> int
+(** Rebuild the BDD of a cover (for checking). *)

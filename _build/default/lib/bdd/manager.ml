@@ -1,0 +1,222 @@
+(* Node store with a flat open-addressing unique table and a lossy
+   direct-mapped computed cache (the classic CUDD layout): node creation and
+   cache probes are the innermost loops of every algorithm in this
+   repository, so they avoid boxed keys and GC traffic entirely. *)
+
+type t = {
+  mutable var_of : int array;
+  mutable low_of : int array;
+  mutable high_of : int array;
+  mutable n_nodes : int;
+  (* unique table: open addressing into [u_slot], -1 = empty; keys are the
+     (var, low, high) of the node stored at the slot *)
+  mutable u_slot : int array;
+  mutable u_mask : int;
+  (* computed cache: direct-mapped, 4 ints of key + 1 of result per entry;
+     grows (emptying itself — it is lossy anyway) as the node count does *)
+  mutable c_key_op : int array;
+  mutable c_key_a : int array;
+  mutable c_key_b : int array;
+  mutable c_key_c : int array;
+  mutable c_res : int array;
+  mutable c_mask : int;
+  mutable n_vars : int;
+  mutable names : string array;
+  mutable node_limit : int option;
+  support_memo : (int, int list) Hashtbl.t;
+}
+
+exception Node_limit_exceeded
+
+let zero = 0
+let one = 1
+let terminal_level = max_int
+
+let initial_cache_bits = 12
+let max_cache_bits = 22
+
+let create ?(initial_capacity = 1024) () =
+  let cap = max initial_capacity 16 in
+  let usize = 2 * cap in
+  (* round up to a power of two *)
+  let rec pow2 k = if k >= usize then k else pow2 (2 * k) in
+  let usize = pow2 16 in
+  let csize = 1 lsl initial_cache_bits in
+  let m =
+    {
+      var_of = Array.make cap terminal_level;
+      low_of = Array.make cap (-1);
+      high_of = Array.make cap (-1);
+      n_nodes = 2;
+      u_slot = Array.make usize (-1);
+      u_mask = usize - 1;
+      c_key_op = Array.make csize (-1);
+      c_key_a = Array.make csize 0;
+      c_key_b = Array.make csize 0;
+      c_key_c = Array.make csize 0;
+      c_res = Array.make csize 0;
+      c_mask = csize - 1;
+      n_vars = 0;
+      names = [||];
+      node_limit = None;
+      support_memo = Hashtbl.create 256;
+    }
+  in
+  m.low_of.(0) <- 0;
+  m.high_of.(0) <- 0;
+  m.low_of.(1) <- 1;
+  m.high_of.(1) <- 1;
+  m
+
+let hash3 v lo hi =
+  let h = (v * 0x9e3779b1) lxor (lo * 0x85ebca77) lxor (hi * 0xc2b2ae3d) in
+  let h = h lxor (h lsr 15) in
+  h land max_int
+
+let grow_nodes m =
+  let cap = Array.length m.var_of in
+  let cap' = 2 * cap in
+  let extend a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  m.var_of <- extend m.var_of terminal_level;
+  m.low_of <- extend m.low_of (-1);
+  m.high_of <- extend m.high_of (-1)
+
+let grow_cache m =
+  let size = m.c_mask + 1 in
+  if size < 1 lsl max_cache_bits then begin
+    let size' = 2 * size in
+    m.c_key_op <- Array.make size' (-1);
+    m.c_key_a <- Array.make size' 0;
+    m.c_key_b <- Array.make size' 0;
+    m.c_key_c <- Array.make size' 0;
+    m.c_res <- Array.make size' 0;
+    m.c_mask <- size' - 1
+  end
+
+let rehash_unique m =
+  let size' = 2 * (m.u_mask + 1) in
+  let slot' = Array.make size' (-1) in
+  let mask' = size' - 1 in
+  Array.iter
+    (fun id ->
+      if id >= 0 then begin
+        let h = ref (hash3 m.var_of.(id) m.low_of.(id) m.high_of.(id) land mask') in
+        while slot'.(!h) >= 0 do
+          h := (!h + 1) land mask'
+        done;
+        slot'.(!h) <- id
+      end)
+    m.u_slot;
+  m.u_slot <- slot';
+  m.u_mask <- mask'
+
+let num_nodes m = m.n_nodes
+let set_node_limit m lim = m.node_limit <- lim
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else begin
+    let mask = m.u_mask in
+    let h = ref (hash3 v lo hi land mask) in
+    let found = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      let id = m.u_slot.(!h) in
+      if id < 0 then continue := false
+      else if m.var_of.(id) = v && m.low_of.(id) = lo && m.high_of.(id) = hi
+      then begin
+        found := id;
+        continue := false
+      end
+      else h := (!h + 1) land mask
+    done;
+    if !found >= 0 then !found
+    else begin
+      (match m.node_limit with
+       | Some lim when m.n_nodes >= lim -> raise Node_limit_exceeded
+       | Some _ | None -> ());
+      if m.n_nodes >= Array.length m.var_of then grow_nodes m;
+      let id = m.n_nodes in
+      m.n_nodes <- id + 1;
+      m.var_of.(id) <- v;
+      m.low_of.(id) <- lo;
+      m.high_of.(id) <- hi;
+      m.u_slot.(!h) <- id;
+      (* keep the load factor under 1/2 *)
+      if 2 * m.n_nodes > m.u_mask then rehash_unique m;
+      (* keep the (lossy) computed cache proportional to the node count *)
+      if m.n_nodes > m.c_mask then grow_cache m;
+      id
+    end
+  end
+
+let var m id = m.var_of.(id)
+let low m id = m.low_of.(id)
+let high m id = m.high_of.(id)
+let is_const id = id < 2
+let num_vars m = m.n_vars
+
+let new_var ?name m =
+  let v = m.n_vars in
+  m.n_vars <- v + 1;
+  let name = match name with Some s -> s | None -> Printf.sprintf "x%d" v in
+  let old = m.names in
+  let names = Array.make m.n_vars "" in
+  Array.blit old 0 names 0 (Array.length old);
+  names.(v) <- name;
+  m.names <- names;
+  v
+
+let new_vars ?(prefix = "x") m n =
+  List.init n (fun k -> new_var ~name:(Printf.sprintf "%s%d" prefix k) m)
+
+let var_name m v =
+  if v >= 0 && v < m.n_vars then m.names.(v) else Printf.sprintf "?%d" v
+
+let set_var_name m v s = if v >= 0 && v < m.n_vars then m.names.(v) <- s
+
+let cache_slot m op a b c =
+  let h =
+    (op * 0x27d4eb2f)
+    lxor (a * 0x9e3779b1)
+    lxor (b * 0x85ebca77)
+    lxor (c * 0xc2b2ae3d)
+  in
+  let h = h lxor (h lsr 13) in
+  h land m.c_mask
+
+let cache_find m op a b c =
+  let s = cache_slot m op a b c in
+  if
+    m.c_key_op.(s) = op && m.c_key_a.(s) = a && m.c_key_b.(s) = b
+    && m.c_key_c.(s) = c
+  then Some m.c_res.(s)
+  else None
+
+let cache_store m op a b c r =
+  let s = cache_slot m op a b c in
+  m.c_key_op.(s) <- op;
+  m.c_key_a.(s) <- a;
+  m.c_key_b.(s) <- b;
+  m.c_key_c.(s) <- c;
+  m.c_res.(s) <- r
+
+let clear_caches m =
+  Array.fill m.c_key_op 0 (Array.length m.c_key_op) (-1);
+  Hashtbl.reset m.support_memo
+
+let support_memo m = m.support_memo
+
+module Op = struct
+  let ite = 1
+  let bnot = 2
+  let exists = 3
+  let forall = 4
+  let and_exists = 5
+  let compose = 6
+  let constrain = 7
+end

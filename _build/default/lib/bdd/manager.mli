@@ -1,0 +1,97 @@
+(** BDD manager: node store, unique table and operation caches.
+
+    Nodes are identified by non-negative integers. The constants [zero] and
+    [one] are nodes 0 and 1. All other nodes are decision nodes with a
+    variable (identified by its level: smaller level = closer to the root),
+    a low child (the [var = false] cofactor) and a high child. The manager
+    guarantees canonicity: structurally equal BDDs have equal node ids, so
+    semantic equality of functions is integer equality of their roots. *)
+
+type t
+(** A BDD manager. All nodes and operations are relative to one manager;
+    mixing node ids across managers is unchecked and meaningless. *)
+
+exception Node_limit_exceeded
+(** Raised by node creation when the node count passes the configured limit.
+    Used to convert blow-ups into "could not complete" results. *)
+
+val create : ?initial_capacity:int -> unit -> t
+(** [create ()] makes a manager with no variables. *)
+
+val zero : int
+(** The constant-false node (id 0). *)
+
+val one : int
+(** The constant-true node (id 1). *)
+
+val new_var : ?name:string -> t -> int
+(** [new_var m] registers a fresh variable at the next level and returns its
+    variable index (= its level). Optionally give it a [name] for printing. *)
+
+val new_vars : ?prefix:string -> t -> int -> int list
+(** [new_vars m n] registers [n] fresh variables named [prefix0..]. *)
+
+val num_vars : t -> int
+(** Number of registered variables. *)
+
+val var_name : t -> int -> string
+(** [var_name m v] is the printable name of variable [v]. *)
+
+val set_var_name : t -> int -> string -> unit
+
+val mk : t -> int -> int -> int -> int
+(** [mk m v lo hi] is the canonical node for [if v then hi else lo].
+    Requires that [v] is strictly above the levels of [lo] and [hi].
+    Reduced: returns [lo] when [lo = hi]. *)
+
+val var : t -> int -> int
+(** [var m id] is the variable (level) of node [id]; a large sentinel
+    ([terminal_level]) for constants. *)
+
+val terminal_level : int
+(** Sentinel level of the two constant nodes; strictly greater than any
+    variable level. *)
+
+val low : t -> int -> int
+(** Low (else) child. Meaningless on constants. *)
+
+val high : t -> int -> int
+(** High (then) child. Meaningless on constants. *)
+
+val is_const : int -> bool
+(** True on [zero] and [one]. *)
+
+val num_nodes : t -> int
+(** Total nodes ever created in the manager (a measure of work/memory). *)
+
+val set_node_limit : t -> int option -> unit
+(** Set or clear the node-creation limit ([Node_limit_exceeded]). *)
+
+val cache_find : t -> int -> int -> int -> int -> int option
+(** [cache_find m op a b c] looks up the computed cache. The [op] tag
+    namespaces operations; [a b c] are operand node ids (use 0 for unused
+    slots in a way that cannot collide for the same op). *)
+
+val cache_store : t -> int -> int -> int -> int -> int -> unit
+(** [cache_store m op a b c r] memoizes a result. The cache is a lossy
+    direct-mapped table: entries may be overwritten at any time, which only
+    costs recomputation (nodes are never freed, so hits are always valid). *)
+
+val support_memo : t -> (int, int list) Hashtbl.t
+(** Memo table from node id to its (sorted) support, shared by {!Ops.support}
+    callers. Nodes are immutable, so entries never go stale. *)
+
+val clear_caches : t -> unit
+(** Drop all memoized operation results (never required for correctness). *)
+
+(** Operation tags for the shared computed cache. Each distinct recursive
+    operation must use a distinct tag. *)
+module Op : sig
+  val ite : int
+  val bnot : int
+  val exists : int
+  val forall : int
+  val and_exists : int
+  val compose : int
+  val constrain : int
+end

@@ -1,0 +1,17 @@
+(** Textual serialization of shared BDDs.
+
+    Format: a header [bdd <num-vars> <num-roots>], one line per variable
+    [var <index> <name>], one line per node [node <id> <var> <low> <high>]
+    in bottom-up order (ids are file-local; 0/1 denote the constants), and
+    a final [roots <id> ...] line. *)
+
+val dump : Manager.t -> int list -> string
+(** Serialize a list of roots with shared structure. *)
+
+val load : Manager.t -> ?var_map:(int -> int) -> string -> int list
+(** Rebuild the roots in a manager. Variables are matched by index through
+    [var_map] (default: identity); the manager must already have the target
+    variables allocated. Raises [Failure] on malformed input. *)
+
+val dump_file : string -> Manager.t -> int list -> unit
+val load_file : Manager.t -> ?var_map:(int -> int) -> string -> int list

@@ -1,0 +1,1 @@
+lib/circuits/generators.ml: Array Hashtbl List Network Printf Random String

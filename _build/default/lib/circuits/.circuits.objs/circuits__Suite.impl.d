@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Generators List Network Printf

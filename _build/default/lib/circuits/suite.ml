@@ -1,0 +1,63 @@
+module N = Network.Netlist
+module G = Generators
+
+type row = {
+  name : string;
+  paper_analog : string;
+  net : Network.Netlist.t;
+  x_latches : string list;
+}
+
+let latch_names (net : N.t) = List.map (N.net_name net) net.N.latches
+
+let drop k names = List.filteri (fun i _ -> i >= k) names
+
+let last_rnd_latches l k = List.init k (fun j -> Printf.sprintf "x%d" (l - k + j))
+
+(* Calibrated to reproduce the *shape* of the paper's Table 1 on this
+   engine (see EXPERIMENTS.md): the two smallest rows are structured
+   circuits where the partitioned machinery does not pay off yet (the
+   paper's s510 has ratio 0.7); the middle rows are ISCAS-like random-logic
+   circuits where the ratio grows with size (s208/s298/s349: 2.0/3.0/21.5);
+   the two largest make the monolithic flow exhaust its budget (s444/s526:
+   CNC). *)
+let table1 () =
+  [
+    (let net =
+       G.parallel "t510" [ G.traffic_light (); G.pattern_detector "1011" ]
+     in
+     { name = "t510"; paper_analog = "s510 (19/7/6, 3/3, ratio 0.7)"; net;
+       x_latches = drop 3 (latch_names net) });
+    (let net = G.counter 8 in
+     { name = "t208"; paper_analog = "s208 (10/1/8, 4/4, ratio 2.0)"; net;
+       x_latches = drop 4 (latch_names net) });
+    (let net =
+       G.random_logic ~seed:3 ~inputs:4 ~outputs:4 ~latches:8 ~levels:4 ()
+     in
+     { name = "t298"; paper_analog = "s298 (3/6/14, 7/7, ratio 3.0)"; net;
+       x_latches = last_rnd_latches 8 4 });
+    (let net =
+       G.random_logic ~seed:2 ~inputs:5 ~outputs:5 ~latches:9 ~levels:4 ()
+     in
+     { name = "t349"; paper_analog = "s349 (9/11/15, 5/10, ratio 21.5)"; net;
+       x_latches = last_rnd_latches 9 4 });
+    (let net =
+       G.random_logic ~seed:9 ~inputs:5 ~outputs:5 ~latches:10 ~levels:4 ()
+     in
+     { name = "t444"; paper_analog = "s444 (3/6/21, 5/16, mono CNC)"; net;
+       x_latches = last_rnd_latches 10 5 });
+    (let net =
+       G.random_logic ~seed:5 ~inputs:6 ~outputs:8 ~latches:12 ~levels:5 ()
+     in
+     { name = "t526"; paper_analog = "s526 (3/6/21, 5/16, mono CNC)"; net;
+       x_latches = last_rnd_latches 12 6 });
+  ]
+
+let find name = List.find (fun r -> r.name = name) (table1 ())
+
+let profile r =
+  let ni = N.num_inputs r.net in
+  let no = N.num_outputs r.net in
+  let nl = N.num_latches r.net in
+  let nx = List.length r.x_latches in
+  (ni, no, nl, nl - nx, nx)

@@ -1,0 +1,20 @@
+(** The Table-1 analog benchmark rows (see DESIGN.md, substitution 2): six
+    latch-split instances of increasing difficulty. The two largest are
+    sized so that the monolithic flow exhausts a realistic budget (the
+    paper's "CNC") while the partitioned flow completes. *)
+
+type row = {
+  name : string;
+  paper_analog : string;  (** the paper row this instance stands in for *)
+  net : Network.Netlist.t;
+  x_latches : string list;  (** latches split out as the unknown [X] *)
+}
+
+val table1 : unit -> row list
+
+val find : string -> row
+(** Lookup by [name]; raises [Not_found]. *)
+
+val profile : row -> int * int * int * int * int
+(** [(inputs, outputs, latches, f_latches, x_latches)] — the "i/o/cs" and
+    "Fcs/Xcs" columns. *)

@@ -1,0 +1,1 @@
+lib/equation/budget.mli:

@@ -1,0 +1,1 @@
+lib/equation/csf.ml: Fsa Problem

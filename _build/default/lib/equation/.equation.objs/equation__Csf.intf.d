@@ -1,0 +1,1 @@
+lib/equation/csf.mli: Fsa Problem

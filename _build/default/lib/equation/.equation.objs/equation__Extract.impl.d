@@ -1,0 +1,1 @@
+lib/equation/extract.ml: Array Bdd Fsa Hashtbl List Machine Problem Queue

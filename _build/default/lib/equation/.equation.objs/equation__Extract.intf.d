@@ -1,0 +1,1 @@
+lib/equation/extract.mli: Fsa Machine Network Problem

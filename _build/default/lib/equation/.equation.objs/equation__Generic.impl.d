@@ -1,0 +1,1 @@
+lib/equation/generic.ml: Fsa List Network Problem

@@ -1,0 +1,1 @@
+lib/equation/generic.mli: Fsa Problem

@@ -1,0 +1,1 @@
+lib/equation/kiss.ml: Array Bdd Buffer Bytes Hashtbl List Machine Option Printf String

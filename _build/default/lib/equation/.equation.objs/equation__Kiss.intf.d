@@ -1,0 +1,1 @@
+lib/equation/kiss.mli: Bdd Machine

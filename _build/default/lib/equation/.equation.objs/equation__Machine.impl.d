@@ -1,0 +1,1 @@
+lib/equation/machine.ml: Array Bdd Fsa Hashtbl List Network Printf

@@ -1,0 +1,1 @@
+lib/equation/machine.mli: Bdd Fsa Network

@@ -1,0 +1,1 @@
+lib/equation/monolithic.ml: Array Bdd Budget Fsa Hashtbl List Network Option Printf Problem Queue Subset

@@ -1,0 +1,1 @@
+lib/equation/monolithic.mli: Fsa Problem

@@ -1,0 +1,1 @@
+lib/equation/partitioned.ml: Array Bdd Budget Fsa Hashtbl Img Lazy List Option Printf Problem Queue Subset

@@ -1,0 +1,1 @@
+lib/equation/partitioned.mli: Fsa Img Problem

@@ -1,0 +1,1 @@
+lib/equation/problem.ml: Bdd Hashtbl List Network Printf

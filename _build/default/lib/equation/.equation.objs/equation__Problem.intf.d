@@ -1,0 +1,1 @@
+lib/equation/problem.mli: Bdd Network

@@ -1,0 +1,1 @@
+lib/equation/solve.ml: Bdd Budget Csf Fsa Img Monolithic Option Partitioned Problem Split Sys Verify

@@ -1,0 +1,1 @@
+lib/equation/solve.mli: Fsa Img Network Problem Split

@@ -1,0 +1,1 @@
+lib/equation/split.ml: Array Bdd Fsa Hashtbl List Network Printf Problem String

@@ -1,0 +1,1 @@
+lib/equation/split.mli: Bdd Fsa Network Problem

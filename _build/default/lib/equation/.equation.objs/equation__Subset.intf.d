@@ -1,0 +1,1 @@
+lib/equation/subset.mli: Bdd

@@ -1,0 +1,1 @@
+lib/equation/verify.ml: Array Bdd Fsa Hashtbl Img List Machine Network Problem Queue Split

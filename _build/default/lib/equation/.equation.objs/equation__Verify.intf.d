@@ -1,0 +1,1 @@
+lib/equation/verify.mli: Fsa Img Machine Problem Split

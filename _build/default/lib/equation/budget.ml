@@ -1,0 +1,9 @@
+(* Resource budget for converting blow-ups into "could not complete" (CNC)
+   outcomes, as in the paper's Table 1. *)
+
+exception Exceeded
+
+(* [check deadline] raises once the process CPU time passes [deadline]. *)
+let check = function
+  | None -> ()
+  | Some deadline -> if Sys.time () > deadline then raise Exceeded

@@ -1,0 +1,8 @@
+(** CPU-time budget used to convert blow-ups into "could not complete"
+    (CNC) outcomes, as in the paper's Table 1. *)
+
+exception Exceeded
+
+val check : float option -> unit
+(** [check (Some deadline)] raises {!Exceeded} once [Sys.time ()] passes
+    [deadline]; [check None] never raises. *)

@@ -1,0 +1,5 @@
+let csf (p : Problem.t) x =
+  let closed = Fsa.Ops.prefix_close x in
+  Fsa.Ops.progressive closed ~inputs:(Problem.x_input_vars p)
+
+let num_states = Fsa.Automaton.num_states

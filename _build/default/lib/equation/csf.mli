@@ -1,0 +1,11 @@
+(** From the most general prefix-closed solution to the Complete Sequential
+    Flexibility: the largest prefix-closed, input-progressive sub-automaton
+    (paper §2). *)
+
+val csf : Problem.t -> Fsa.Automaton.t -> Fsa.Automaton.t
+(** [csf p x] applies PrefixClose (delete non-accepting states) and
+    Progressive (iterated deletion of states that are not input-progressive
+    with respect to the [u] variables), then trims. *)
+
+val num_states : Fsa.Automaton.t -> int
+(** The "States(X)" column of Table 1. *)

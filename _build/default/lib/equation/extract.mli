@@ -1,0 +1,47 @@
+(** Extraction of an implementable sub-solution from the CSF — the paper's
+    closing "outstanding problem for future research" ("finding an optimum
+    sub-solution of the CSF"), solved here heuristically:
+
+    walk the CSF from its initial state and, at each reached state, commit
+    to one Moore output [v̂] that keeps the state input-progressive (some
+    transition exists for every [u] under [v̂]); the CSF's determinism then
+    yields a unique successor per [u]. The result is a Moore machine whose
+    behaviour is contained in the CSF by construction, hence a legal
+    replacement for the split-out latches.
+
+    Heuristics for choosing [v̂] (tie-breaking the flexibility):
+
+    - [First]: any admissible output (the BDD's first minterm);
+    - [Prefer_self_loops]: prefer an output whose transitions maximize
+      self-loops (tends to reduce the synthesized next-state logic);
+    - [Prefer of cube]: prefer outputs inside a given set (e.g. to bias
+      toward the original latch bank's encoding). *)
+
+type heuristic =
+  | First
+  | Prefer_self_loops
+  | Prefer of int
+
+val moore_sub_solution :
+  ?heuristic:heuristic ->
+  Problem.t ->
+  Fsa.Automaton.t ->
+  Machine.t option
+(** [moore_sub_solution p csf] is [None] when some reached state admits no
+    Moore output choice (no [v̂] works for every [u]) — this cannot happen
+    for the CSF of a latch split, whose particular solution is Moore, as
+    long as extraction follows choices compatible with it, but may happen
+    for hand-made automata. The CSF must be deterministic and
+    input-progressive w.r.t. [u] (as produced by {!Csf.csf}); its states
+    must all be accepting. *)
+
+val resynthesize :
+  ?heuristic:heuristic ->
+  ?minimize:bool ->
+  Problem.t ->
+  Fsa.Automaton.t ->
+  (Network.Netlist.t * Machine.t) option
+(** Extract, Moore-minimize (default on), and synthesize as a circuit
+    (binary state encoding). The netlist's inputs/outputs carry the
+    problem's [u]/[v] names, so it drops into the hole left by
+    {!Split.split}. *)

@@ -1,0 +1,138 @@
+module M = Bdd.Manager
+module O = Bdd.Ops
+module S = Network.Symbolic
+
+type stats = {
+  subset_states : int;
+  hidden_relation_nodes : int;
+  peak_nodes : int;
+}
+
+let relation_of_functions man pairs =
+  O.conj man
+    (List.map (fun (v, fn) -> O.bxnor man (O.var_bdd man v) fn) pairs)
+
+let solve ?deadline (p : Problem.t) =
+  let man = p.Problem.man in
+  let f = p.Problem.f_sym and s = p.Problem.s_sym in
+  (* monolithic transition-output relations *)
+  let to_f =
+    relation_of_functions man
+      (List.combine f.S.next_state_vars f.S.next_fns
+      @ List.combine p.Problem.u_vars p.Problem.f_out_u
+      @ List.combine p.Problem.o_vars p.Problem.f_out_o)
+  in
+  Budget.check deadline;
+  let to_s =
+    relation_of_functions man
+      (List.combine s.S.next_state_vars s.S.next_fns
+      @ List.combine p.Problem.o_vars p.Problem.s_out_o)
+  in
+  Budget.check deadline;
+  (* completion of S with the explicit DC state bit (paper §2): undefined
+     input/output combinations transition to the unique non-accepting state
+     [d = 1], which self-loops. The DC state's next-state code is fixed to
+     all-zeros to keep the relation deterministic. *)
+  let d = O.var_bdd man p.Problem.dc_var in
+  let d' = O.var_bdd man p.Problem.dc_next_var in
+  let ns2_cube = O.cube_of_vars man s.S.next_state_vars in
+  let undefined = O.bnot man (O.exists man ns2_cube to_s) in
+  let zero_ns2 =
+    O.conj man (List.map (O.nvar_bdd man) s.S.next_state_vars)
+  in
+  let nd = O.bnot man d and nd' = O.bnot man d' in
+  let to_s_complete =
+    O.disj man
+      [ O.conj man [ nd; nd'; to_s ];
+        O.conj man [ nd; undefined; d'; zero_ns2 ];
+        O.conj man [ d; d'; zero_ns2 ] ]
+  in
+  Budget.check deadline;
+  (* complement(S) flips acceptance to the DC bit; form the product with the
+     (incomplete, all-accepting) F and hide the external variables. This
+     monolithic quantification is the expensive step the paper avoids. *)
+  let product = O.band man to_f to_s_complete in
+  Budget.check deadline;
+  let io_cube =
+    O.cube_of_vars man (Problem.hidden_inputs p @ p.Problem.o_vars)
+  in
+  let hidden = O.exists man io_cube product in
+  Budget.check deadline;
+  let alphabet = Problem.alphabet p in
+  let cs_vars = Problem.state_vars p @ [ p.Problem.dc_var ] in
+  let ns_vars = Problem.next_state_vars p @ [ p.Problem.dc_next_var ] in
+  let cs_cube = O.cube_of_vars man cs_vars in
+  let ns_cube = O.cube_of_vars man ns_vars in
+  let rename_pairs =
+    Problem.ns_to_cs p @ [ (p.Problem.dc_next_var, p.Problem.dc_var) ]
+  in
+  (* traditional subset construction: no trimming of bad subsets *)
+  let index = Hashtbl.create 64 in
+  let rev_subsets = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern zeta =
+    match Hashtbl.find_opt index zeta with
+    | Some k -> k
+    | None ->
+      let k = !count in
+      incr count;
+      Hashtbl.replace index zeta k;
+      rev_subsets := zeta :: !rev_subsets;
+      Queue.add zeta queue;
+      k
+  in
+  let initial =
+    intern (O.band man (Problem.initial_cube p) (O.bnot man d))
+  in
+  let edges_acc = ref [] in
+  let dca = -2 in
+  let used_dca = ref false in
+  while not (Queue.is_empty queue) do
+    Budget.check deadline;
+    let zeta = Queue.pop queue in
+    let k = Hashtbl.find index zeta in
+    let p_rel = O.and_exists man cs_cube hidden zeta in
+    let domain = O.exists man ns_cube p_rel in
+    List.iter
+      (fun (guard, succ_ns) ->
+        let zeta' = O.rename man succ_ns rename_pairs in
+        edges_acc := (k, guard, intern zeta') :: !edges_acc)
+      (Subset.split_successors man ~p:p_rel ~alphabet ~ns_cube);
+    let to_dca = O.bnot man domain in
+    if to_dca <> M.zero then begin
+      used_dca := true;
+      edges_acc := (k, to_dca, dca) :: !edges_acc
+    end
+  done;
+  let n_subsets = !count in
+  let dca_id = if !used_dca then Some n_subsets else None in
+  let n = n_subsets + if !used_dca then 1 else 0 in
+  let subsets = Array.of_list (List.rev !rev_subsets) in
+  (* acceptance after the final complementation: a subset is accepting iff
+     it contains no state of the complemented specification's DC (= no
+     product state with d = 1); the completion sink becomes accepting. *)
+  let accepting =
+    Array.init n (fun k ->
+        if dca_id = Some k then true else O.band man subsets.(k) d = M.zero)
+  in
+  let names =
+    Array.init n (fun k ->
+        if dca_id = Some k then "DCA" else Printf.sprintf "Z%d" k)
+  in
+  let edges = Array.make n [] in
+  List.iter
+    (fun (k, g, dst) ->
+      let dst = if dst = dca then Option.get dca_id else dst in
+      edges.(k) <- (g, dst) :: edges.(k))
+    !edges_acc;
+  (match dca_id with
+   | Some k -> edges.(k) <- [ (M.one, k) ]
+   | None -> ());
+  let solution =
+    Fsa.Automaton.make man ~alphabet ~initial ~accepting ~edges ~names ()
+  in
+  ( solution,
+    { subset_states = n_subsets;
+      hidden_relation_nodes = O.size man hidden;
+      peak_nodes = M.num_nodes man } )

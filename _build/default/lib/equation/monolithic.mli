@@ -1,0 +1,21 @@
+(** The contrast implementation measured in the paper's Table 1: Algorithm 1
+    executed on monolithic transition-output relations.
+
+    [TO_F(i,v,u,o,cs1,ns1)] and [TO_S(i,o,cs2,ns2)] are built as single
+    BDDs (the external outputs [o] get BDD variables here); [S] is completed
+    with an explicit don't-care state bit, complemented by flipping
+    acceptance to that bit, conjoined with [TO_F], and the external
+    variables [i,o] are hidden by monolithic existential quantification.
+    A traditional subset construction (no early trimming) follows, then
+    completion and complementation as separate passes.
+
+    Blow-ups surface as {!Budget.Exceeded} (CPU deadline) or
+    {!Bdd.Manager.Node_limit_exceeded} (node budget) — the "CNC" entries. *)
+
+type stats = {
+  subset_states : int;
+  hidden_relation_nodes : int;  (** size of [∃i,o. TO_F ∧ TO'_S] *)
+  peak_nodes : int;
+}
+
+val solve : ?deadline:float -> Problem.t -> Fsa.Automaton.t * stats

@@ -1,0 +1,141 @@
+module M = Bdd.Manager
+module O = Bdd.Ops
+
+type stats = {
+  subset_states : int;
+  image_computations : int;
+  peak_nodes : int;
+}
+
+type q_mode = Per_output | Combined
+
+let solve ?deadline ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
+    ?(q_mode = Combined) ?(cluster_threshold = 1) ?on_state (p : Problem.t) =
+  let notify k = match on_state with Some f -> f k | None -> () in
+  let man = p.Problem.man in
+  let images = ref 0 in
+  let quantified = Problem.hidden_inputs p @ Problem.state_vars p in
+  let alphabet = Problem.alphabet p in
+  let ns_cube = O.cube_of_vars man (Problem.next_state_vars p) in
+  let cluster parts =
+    (Img.Partition.cluster
+       (Img.Partition.of_relations man parts)
+       ~threshold:cluster_threshold)
+      .Img.Partition.parts
+  in
+  let urel = cluster (Problem.u_relation_parts p) in
+  let trel = cluster (Problem.transition_parts p) in
+  let non_conformance = List.map (O.bnot man) (Problem.conformance_parts p) in
+  let conjoin_exists rels =
+    incr images;
+    match strategy with
+    | Img.Image.Monolithic ->
+      Img.Quantify.monolithic_and_exists man rels ~quantify:quantified
+    | Img.Image.Partitioned order ->
+      Img.Quantify.and_exists_list man ~order rels ~quantify:quantified
+  in
+  (* Q_ζ(u,v): symbols under which some input causes an output of F that
+     does not conform to S. [Per_output] computes one image per output, as
+     described in the paper; [Combined] disjoins the per-output
+     non-conformance conditions once (they range over (i,v,cs) only — the
+     dangerous ns variables are not involved) and runs a single image. *)
+  let combined_non_conformance =
+    lazy (O.disj man non_conformance)
+  in
+  let non_conforming zeta =
+    match q_mode with
+    | Per_output ->
+      O.disj man
+        (List.map (fun ncj -> conjoin_exists (zeta :: ncj :: urel))
+           non_conformance)
+    | Combined ->
+      conjoin_exists (zeta :: Lazy.force combined_non_conformance :: urel)
+  in
+  let successor_relation zeta =
+    conjoin_exists ((zeta :: urel) @ trel)
+  in
+  (* Subset states are interned by their (canonical) BDD. *)
+  let index = Hashtbl.create 64 in
+  let rev_subsets = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern zeta =
+    match Hashtbl.find_opt index zeta with
+    | Some k -> k
+    | None ->
+      let k = !count in
+      incr count;
+      Hashtbl.replace index zeta k;
+      rev_subsets := zeta :: !rev_subsets;
+      Queue.add zeta queue;
+      k
+  in
+  let initial = intern (Problem.initial_cube p) in
+  let edges_acc = ref [] in
+  (* sink ids are assigned after the construction, when the number of subset
+     states is known; use negative placeholders meanwhile *)
+  let dcn = -1 and dca = -2 in
+  let used_dcn = ref false and used_dca = ref false in
+  while not (Queue.is_empty queue) do
+    Budget.check deadline;
+    let zeta = Queue.pop queue in
+    let k = Hashtbl.find index zeta in
+    notify k;
+    let q = non_conforming zeta in
+    let p_rel = O.bdiff man (successor_relation zeta) q in
+    let domain = O.exists man ns_cube p_rel in
+    List.iter
+      (fun (guard, succ_ns) ->
+        let zeta' = O.rename man succ_ns (Problem.ns_to_cs p) in
+        edges_acc := (k, guard, intern zeta') :: !edges_acc)
+      (Subset.split_successors man ~p:p_rel ~alphabet ~ns_cube);
+    if q <> M.zero then begin
+      used_dcn := true;
+      edges_acc := (k, q, dcn) :: !edges_acc
+    end;
+    let to_dca = O.bnot man (O.bor man domain q) in
+    if to_dca <> M.zero then begin
+      used_dca := true;
+      edges_acc := (k, to_dca, dca) :: !edges_acc
+    end
+  done;
+  let n_subsets = !count in
+  (* materialize sinks *)
+  let dcn_id = if !used_dcn then Some n_subsets else None in
+  let dca_id =
+    if !used_dca then Some (n_subsets + if !used_dcn then 1 else 0) else None
+  in
+  let n = n_subsets + (if !used_dcn then 1 else 0)
+          + (if !used_dca then 1 else 0) in
+  let resolve d =
+    if d = dcn then Option.get dcn_id
+    else if d = dca then Option.get dca_id
+    else d
+  in
+  let accepting =
+    Array.init n (fun s ->
+        match dcn_id with Some k when s = k -> false | _ -> true)
+  in
+  let names =
+    Array.init n (fun s ->
+        if dcn_id = Some s then "DCN"
+        else if dca_id = Some s then "DCA"
+        else Printf.sprintf "Z%d" s)
+  in
+  let edges = Array.make n [] in
+  List.iter
+    (fun (k, g, d) -> edges.(k) <- (g, resolve d) :: edges.(k))
+    !edges_acc;
+  (match dcn_id with
+   | Some k -> edges.(k) <- [ (M.one, k) ]
+   | None -> ());
+  (match dca_id with
+   | Some k -> edges.(k) <- [ (M.one, k) ]
+   | None -> ());
+  let solution =
+    Fsa.Automaton.make man ~alphabet ~initial ~accepting ~edges ~names ()
+  in
+  ( solution,
+    { subset_states = n_subsets;
+      image_computations = !images;
+      peak_nodes = M.num_nodes man } )

@@ -1,0 +1,47 @@
+(** The paper's core algorithm (§3.2): solving [F • X ⊆ S] directly on the
+    partitioned representation. Completion, complementation, product and
+    hiding are all folded into one modified subset construction whose inner
+    step is an image computation:
+
+    - conformance [C(i,v,cs) = ∧_j (O^F_j ↔ O^S_j)] is kept one output at a
+      time; [o] never becomes a BDD variable;
+    - for each subset state [ζ(cs)], the non-conformance condition
+      [Q_ζ(u,v) = ∃i,cs (Urel ∧ ¬C ∧ ζ)] redirects symbols to the
+      non-accepting sink [DCN] (the early trimming justified by the paper's
+      prefix-closedness argument);
+    - the successor relation
+      [P_ζ(u,v,ns) = ∃i,cs (Urel ∧ Trel ∧ ζ) ∧ ¬Q_ζ] is computed by the
+      partitioned image engine with early quantification and split into
+      distinct successors;
+    - symbols in neither [P_ζ] nor [Q_ζ] go to the accepting completion sink
+      [DCA].
+
+    The returned automaton is already the complemented (most general
+    prefix-closed) solution: subset states and [DCA] accepting, [DCN] not.
+    Apply {!Csf.csf} to obtain the CSF. *)
+
+type stats = {
+  subset_states : int;  (** subset states explored (excluding the sinks) *)
+  image_computations : int;
+  peak_nodes : int;     (** manager node count after solving *)
+}
+
+type q_mode =
+  | Per_output  (** one image computation per output, as in the paper text *)
+  | Combined
+      (** disjoin the per-output non-conformance conditions once and run a
+          single image per subset state (default; same result) *)
+
+val solve :
+  ?deadline:float ->
+  ?strategy:Img.Image.strategy ->
+  ?q_mode:q_mode ->
+  ?cluster_threshold:int ->
+  ?on_state:(int -> unit) ->
+  Problem.t ->
+  Fsa.Automaton.t * stats
+(** [deadline] is an absolute [Sys.time] value; {!Budget.Exceeded} is raised
+    when the subset construction runs past it. [cluster_threshold] conjoins
+    adjacent relation parts up to that BDD size before the subset
+    construction (1 = fully partitioned). [on_state] is a progress callback
+    invoked with each subset state index as it is expanded. *)

@@ -1,0 +1,51 @@
+type method_ = Partitioned of Img.Image.strategy | Monolithic
+
+let default_partitioned = Partitioned (Img.Image.Partitioned Img.Quantify.Greedy)
+
+type report = {
+  method_ : method_;
+  problem : Problem.t;
+  split : Split.t;
+  solution : Fsa.Automaton.t;
+  csf : Fsa.Automaton.t;
+  csf_states : int;
+  subset_states : int;
+  cpu_seconds : float;
+  peak_nodes : int;
+}
+
+type outcome =
+  | Completed of report
+  | Could_not_complete of { cpu_seconds : float; reason : string }
+
+let solve_split ?node_limit ?time_limit ~method_ net ~x_latches =
+  let sp, p = Split.problem net ~x_latches in
+  Bdd.Manager.set_node_limit p.Problem.man node_limit;
+  let start = Sys.time () in
+  let deadline = Option.map (fun limit -> start +. limit) time_limit in
+  match
+    (match method_ with
+     | Partitioned strategy ->
+       let solution, stats = Partitioned.solve ?deadline ~strategy p in
+       (solution, stats.Partitioned.subset_states, stats.Partitioned.peak_nodes)
+     | Monolithic ->
+       let solution, stats = Monolithic.solve ?deadline p in
+       (solution, stats.Monolithic.subset_states, stats.Monolithic.peak_nodes))
+  with
+  | solution, subset_states, peak_nodes ->
+    let csf = Csf.csf p solution in
+    let cpu_seconds = Sys.time () -. start in
+    Completed
+      { method_; problem = p; split = sp; solution; csf;
+        csf_states = Csf.num_states csf; subset_states; cpu_seconds;
+        peak_nodes }
+  | exception Bdd.Manager.Node_limit_exceeded ->
+    Could_not_complete
+      { cpu_seconds = Sys.time () -. start; reason = "node limit exceeded" }
+  | exception Budget.Exceeded ->
+    Could_not_complete
+      { cpu_seconds = Sys.time () -. start; reason = "time limit exceeded" }
+
+let verify r =
+  ( Verify.particular_contained r.problem r.split r.csf,
+    Verify.composition_equals_spec r.problem r.split )

@@ -1,0 +1,43 @@
+(** Top-level driver: split a circuit, build the equation instance, compute
+    the most general prefix-closed solution with the chosen method, extract
+    the CSF, and optionally verify it — with a resource budget that converts
+    blow-ups into CNC outcomes (Table 1's "CNC"). *)
+
+type method_ =
+  | Partitioned of Img.Image.strategy
+      (** the paper's flow; the strategy selects how the inner image
+          computations are performed *)
+  | Monolithic  (** the traditional flow on monolithic relations *)
+
+val default_partitioned : method_
+(** [Partitioned (Partitioned Greedy)] — the configuration the paper
+    advocates. *)
+
+type report = {
+  method_ : method_;
+  problem : Problem.t;
+  split : Split.t;
+  solution : Fsa.Automaton.t;  (** most general prefix-closed solution *)
+  csf : Fsa.Automaton.t;
+  csf_states : int;
+  subset_states : int;
+  cpu_seconds : float;
+  peak_nodes : int;
+}
+
+type outcome =
+  | Completed of report
+  | Could_not_complete of { cpu_seconds : float; reason : string }
+
+val solve_split :
+  ?node_limit:int ->
+  ?time_limit:float ->
+  method_:method_ ->
+  Network.Netlist.t ->
+  x_latches:string list ->
+  outcome
+(** A fresh BDD manager per call, so methods can be timed independently.
+    [time_limit] is CPU seconds for the whole computation. *)
+
+val verify : report -> bool * bool
+(** [(particular_contained, composition_equals_spec)] for a completed run. *)

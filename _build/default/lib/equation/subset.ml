@@ -1,0 +1,21 @@
+module M = Bdd.Manager
+module O = Bdd.Ops
+
+let split_successors man ~p ~alphabet ~ns_cube =
+  let rec go domain acc =
+    if domain = M.zero then acc
+    else begin
+      let symbol =
+        match O.pick_minterm man domain alphabet with
+        | Some lits -> O.cube_of_literals man lits
+        | None -> assert false
+      in
+      let successor = O.cofactor_cube man p symbol in
+      (* all symbols whose successor set is exactly [successor] *)
+      let differs = O.exists man ns_cube (O.bxor man p successor) in
+      let guard = O.bdiff man domain differs in
+      assert (guard <> M.zero);
+      go (O.bdiff man domain guard) ((guard, successor) :: acc)
+    end
+  in
+  go (O.exists man ns_cube p) []

@@ -1,0 +1,15 @@
+(** The successor-splitting step shared by both determinization flows: given
+    the relation [P(a, ns)] from one subset state (with [a] the alphabet
+    variables), enumerate the distinct successor subset states and the guard
+    under which each is reached. *)
+
+val split_successors :
+  Bdd.Manager.t ->
+  p:int ->
+  alphabet:int list ->
+  ns_cube:int ->
+  (int * int) list
+(** [(guard(a), successor(ns))] pairs with pairwise-disjoint non-zero guards
+    whose union is [∃ns. P]. Each successor is the cofactor of [P] at any
+    symbol of its guard; by construction all symbols of a guard share that
+    cofactor. *)

@@ -1,0 +1,176 @@
+module M = Bdd.Manager
+module O = Bdd.Ops
+module A = Fsa.Automaton
+
+let particular_contained (p : Problem.t) (sp : Split.t) (x : A.t) =
+  let man = p.Problem.man in
+  if A.num_states x = 0 then false
+  else begin
+    (* quantify the bank's outputs and any observed inputs to obtain the
+       successor's u-part *)
+    let v_cube =
+      O.cube_of_vars man (p.Problem.v_vars @ p.Problem.observed_i)
+    in
+    let u_to_v = List.combine p.Problem.u_vars p.Problem.v_vars in
+    let init_sigma =
+      O.cube_of_literals man
+        (List.map2 (fun v b -> (v, b)) p.Problem.v_vars sp.Split.x_init)
+    in
+    let seen = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    let push pair =
+      if not (Hashtbl.mem seen pair) then begin
+        Hashtbl.replace seen pair ();
+        Queue.add pair queue
+      end
+    in
+    push (x.A.initial, init_sigma);
+    let ok = ref true in
+    while !ok && not (Queue.is_empty queue) do
+      let xs, sigma = Queue.pop queue in
+      (* Every latch-bank move (v ∈ σ, any u) must be covered by X. *)
+      let defined = A.defined_guard x xs in
+      if O.bdiff man sigma defined <> M.zero then ok := false
+      else
+        List.iter
+          (fun (g, xs') ->
+            let move = O.band man sigma g in
+            if move <> M.zero then begin
+              (* successor latch-bank states: the u-part of the move *)
+              let u_part = O.exists man v_cube move in
+              let sigma' = O.rename man u_part u_to_v in
+              push (xs', sigma')
+            end)
+          x.A.edges.(xs)
+    done;
+    !ok
+  end
+
+let composition_with_machine
+    ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy) (p : Problem.t)
+    (machine : Machine.t) =
+  let man = p.Problem.man in
+  let f = p.Problem.f_sym and s = p.Problem.s_sym in
+  let module NS = Network.Symbolic in
+  (* synthesize the machine and give it fresh interleaved state variables *)
+  let xnet = Machine.to_netlist machine in
+  let pairs =
+    List.map
+      (fun id ->
+        let name = Network.Netlist.net_name xnet id in
+        let cs = M.new_var ~name:("X." ^ name) man in
+        let ns = M.new_var ~name:("X." ^ name ^ "'") man in
+        (cs, ns))
+      xnet.Network.Netlist.latches
+  in
+  let x_sym =
+    NS.build man
+      ~input_vars:machine.Machine.u_vars
+      ~state_vars:(List.map fst pairs)
+      ~next_state_vars:(List.map snd pairs)
+      xnet
+  in
+  (* the machine's outputs are named after the v variables *)
+  let v_definitions =
+    List.map2
+      (fun vvar vname ->
+        O.bxnor man (O.var_bdd man vvar) (NS.output_fn x_sym vname))
+      p.Problem.v_vars p.Problem.v_names
+  in
+  let x_transitions =
+    List.map
+      (fun (nsv, fn) -> O.bxnor man (O.var_bdd man nsv) fn)
+      (NS.transition_parts x_sym)
+  in
+  let parts =
+    Problem.transition_parts p @ Problem.u_relation_parts p @ v_definitions
+    @ x_transitions
+  in
+  let quantify =
+    p.Problem.i_vars @ p.Problem.u_vars @ p.Problem.v_vars
+    @ Problem.state_vars p @ x_sym.NS.state_vars
+  in
+  let rename_pairs = Problem.ns_to_cs p @ NS.ns_to_cs x_sym in
+  let conformance = O.conj man (Problem.conformance_parts p) in
+  let init =
+    O.conj man [ f.NS.init_cube; s.NS.init_cube; x_sym.NS.init_cube ]
+  in
+  let image frontier =
+    let rels = frontier :: parts in
+    let img =
+      match strategy with
+      | Img.Image.Monolithic ->
+        Img.Quantify.monolithic_and_exists man rels ~quantify
+      | Img.Image.Partitioned order ->
+        Img.Quantify.and_exists_list man ~order rels ~quantify
+    in
+    O.rename man img rename_pairs
+  in
+  (* a composed state is bad when for some input the outputs of F (driven
+     by the machine's v) and S differ *)
+  let bad frontier =
+    Img.Quantify.and_exists_list man
+      (frontier :: O.bnot man conformance :: v_definitions)
+      ~quantify:(p.Problem.i_vars @ p.Problem.v_vars)
+    <> M.zero
+  in
+  let rec loop reached frontier =
+    if frontier = M.zero then true
+    else if bad frontier then false
+    else begin
+      let img = image frontier in
+      let fresh = O.bdiff man img reached in
+      loop (O.bor man reached fresh) fresh
+    end
+  in
+  loop init init
+
+let composition_equals_spec ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
+    (p : Problem.t) (sp : Split.t) =
+  let man = p.Problem.man in
+  let f = p.Problem.f_sym and s = p.Problem.s_sym in
+  let module NS = Network.Symbolic in
+  let parts =
+    Problem.transition_parts p @ Problem.u_relation_parts p
+  in
+  let quantify =
+    p.Problem.i_vars @ p.Problem.v_vars @ Problem.state_vars p
+  in
+  let rename_pairs =
+    Problem.ns_to_cs p @ List.combine p.Problem.u_vars p.Problem.v_vars
+  in
+  let conformance = O.conj man (Problem.conformance_parts p) in
+  let init =
+    O.conj man
+      [ f.NS.init_cube;
+        s.NS.init_cube;
+        O.cube_of_literals man
+          (List.map2 (fun v b -> (v, b)) p.Problem.v_vars sp.Split.x_init) ]
+  in
+  let image frontier =
+    let rels = frontier :: parts in
+    let img =
+      match strategy with
+      | Img.Image.Monolithic ->
+        Img.Quantify.monolithic_and_exists man rels ~quantify
+      | Img.Image.Partitioned order ->
+        Img.Quantify.and_exists_list man ~order rels ~quantify
+    in
+    O.rename man img rename_pairs
+  in
+  let rec loop reached frontier =
+    if frontier = M.zero then true
+    else if
+      (* ∃ reachable composed state, ∃ input: outputs of F×X_P and S differ *)
+      O.bdiff man frontier (O.forall man
+                              (O.cube_of_vars man p.Problem.i_vars)
+                              conformance)
+      <> M.zero
+    then false
+    else begin
+      let img = image frontier in
+      let fresh = O.bdiff man img reached in
+      loop (O.bor man reached fresh) fresh
+    end
+  in
+  loop init init

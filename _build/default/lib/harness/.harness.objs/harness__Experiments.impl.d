@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Circuits Equation Format List Printf

@@ -1,0 +1,62 @@
+module S = Equation.Solve
+
+type row_result = {
+  row : Circuits.Suite.row;
+  part : S.outcome;
+  mono : S.outcome;
+}
+
+let default_time_limit = 120.0
+let default_node_limit = 10_000_000
+
+let run_row ?(time_limit = default_time_limit)
+    ?(node_limit = default_node_limit) (row : Circuits.Suite.row) =
+  let solve method_ =
+    S.solve_split ~node_limit ~time_limit ~method_ row.Circuits.Suite.net
+      ~x_latches:row.Circuits.Suite.x_latches
+  in
+  let part = solve S.default_partitioned in
+  let mono = solve S.Monolithic in
+  { row; part; mono }
+
+let run_table1 ?time_limit ?node_limit ?(progress = fun _ -> ()) () =
+  List.map
+    (fun row ->
+      progress row.Circuits.Suite.name;
+      run_row ?time_limit ?node_limit row)
+    (Circuits.Suite.table1 ())
+
+let states_cell = function
+  | S.Completed r -> string_of_int r.S.csf_states
+  | S.Could_not_complete _ -> "-"
+
+let time_cell = function
+  | S.Completed r -> Printf.sprintf "%.2f" r.S.cpu_seconds
+  | S.Could_not_complete _ -> "CNC"
+
+let ratio_cell part mono =
+  match (part, mono) with
+  | S.Completed p, S.Completed m ->
+    if p.S.cpu_seconds < 1e-6 then "-"
+    else Printf.sprintf "%.1f" (m.S.cpu_seconds /. p.S.cpu_seconds)
+  | _, _ -> "-"
+
+let print_table1 fmt results =
+  Format.fprintf fmt
+    "%-8s %-10s %-8s %10s %8s %8s %7s@."
+    "Name" "i/o/cs" "Fcs/Xcs" "States(X)" "Part,s" "Mono,s" "Ratio";
+  List.iter
+    (fun { row; part; mono } ->
+      let i, o, cs, fcs, xcs = Circuits.Suite.profile row in
+      Format.fprintf fmt "%-8s %-10s %-8s %10s %8s %8s %7s@."
+        row.Circuits.Suite.name
+        (Printf.sprintf "%d/%d/%d" i o cs)
+        (Printf.sprintf "%d/%d" fcs xcs)
+        (states_cell part) (time_cell part) (time_cell mono)
+        (ratio_cell part mono))
+    results
+
+let verify_row { part; _ } =
+  match part with
+  | S.Completed r -> Some (S.verify r)
+  | S.Could_not_complete _ -> None

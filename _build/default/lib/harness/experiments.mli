@@ -1,0 +1,32 @@
+(** The Table-1 reproduction harness, shared by the benchmark executable and
+    the CLI: runs each suite row with both methods under a resource budget
+    and formats the table with the paper's columns. *)
+
+type row_result = {
+  row : Circuits.Suite.row;
+  part : Equation.Solve.outcome;
+  mono : Equation.Solve.outcome;
+}
+
+val default_time_limit : float
+(** CPU seconds per (row, method) before declaring CNC. *)
+
+val default_node_limit : int
+(** BDD nodes per run before declaring CNC (the memory budget). *)
+
+val run_row :
+  ?time_limit:float -> ?node_limit:int -> Circuits.Suite.row -> row_result
+
+val run_table1 :
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  row_result list
+
+val print_table1 : Format.formatter -> row_result list -> unit
+(** The paper's Table 1 layout: Name, i/o/cs, Fcs/Xcs, States(X), Part,s,
+    Mono,s, Ratio (with CNC entries where a run exhausted its budget). *)
+
+val verify_row : row_result -> (bool * bool) option
+(** Run the §4 checks on the partitioned result, when it completed. *)

@@ -1,0 +1,1 @@
+lib/image/equiv.ml: Array Bdd Image List Network Option Quantify Random

@@ -1,0 +1,1 @@
+lib/image/equiv.mli: Image Network

@@ -1,0 +1,1 @@
+lib/image/image.ml: Bdd Partition Quantify

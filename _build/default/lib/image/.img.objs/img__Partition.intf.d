@@ -1,0 +1,1 @@
+lib/image/partition.mli: Bdd

@@ -1,0 +1,1 @@
+lib/image/quantify.ml: Array Bdd Hashtbl List Option

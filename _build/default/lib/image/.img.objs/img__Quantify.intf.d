@@ -1,0 +1,1 @@
+lib/image/quantify.mli: Bdd

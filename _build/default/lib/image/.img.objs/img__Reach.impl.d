@@ -1,0 +1,1 @@
+lib/image/reach.ml: Bdd Image List Network Partition Quantify

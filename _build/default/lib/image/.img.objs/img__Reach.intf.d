@@ -1,0 +1,1 @@
+lib/image/reach.mli: Image Network

@@ -1,0 +1,16 @@
+type strategy = Monolithic | Partitioned of Quantify.order
+
+let image strategy (p : Partition.t) ~quantify ~care =
+  let rels = care :: p.Partition.parts in
+  match strategy with
+  | Monolithic -> Quantify.monolithic_and_exists p.Partition.man rels ~quantify
+  | Partitioned order ->
+    Quantify.and_exists_list p.Partition.man ~order rels ~quantify
+
+let forward_image strategy p ~inputs ~state_vars ~ns_to_cs ~care =
+  let img = image strategy p ~quantify:(inputs @ state_vars) ~care in
+  Bdd.Ops.rename p.Partition.man img ns_to_cs
+
+let preimage strategy p ~inputs ~next_state_vars ~cs_to_ns ~care =
+  let care_ns = Bdd.Ops.rename p.Partition.man care cs_to_ns in
+  image strategy p ~quantify:(inputs @ next_state_vars) ~care:care_ns

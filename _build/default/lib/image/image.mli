@@ -1,0 +1,41 @@
+(** Forward image and preimage of state sets under partitioned transition
+    relations — [Img(ns) = ∃ i,cs. T(i,cs,ns) ∧ ξ(cs)] from the paper's
+    introduction. *)
+
+type strategy =
+  | Monolithic      (** build the full relation first, then quantify *)
+  | Partitioned of Quantify.order
+      (** and-exists sweep with early quantification *)
+
+val image :
+  strategy ->
+  Partition.t ->
+  quantify:int list ->
+  care:int ->
+  int
+(** [image strategy parts ~quantify ~care] is
+    [∃ quantify. care ∧ ∧ parts]. For a forward image, [quantify] is the
+    inputs plus current-state variables and the result ranges over
+    next-state variables; the caller renames [ns → cs] afterwards. *)
+
+val forward_image :
+  strategy ->
+  Partition.t ->
+  inputs:int list ->
+  state_vars:int list ->
+  ns_to_cs:(int * int) list ->
+  care:int ->
+  int
+(** Image followed by the [ns → cs] renaming: the successor state set,
+    expressed over current-state variables. *)
+
+val preimage :
+  strategy ->
+  Partition.t ->
+  inputs:int list ->
+  next_state_vars:int list ->
+  cs_to_ns:(int * int) list ->
+  care:int ->
+  int
+(** Predecessor state set of [care] (given over current-state variables),
+    expressed over current-state variables. *)

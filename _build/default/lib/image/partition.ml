@@ -1,0 +1,30 @@
+module O = Bdd.Ops
+
+type t = { man : Bdd.Manager.t; parts : int list }
+
+let of_functions man pairs =
+  { man;
+    parts = List.map (fun (v, fn) -> O.bxnor man (O.var_bdd man v) fn) pairs }
+
+let of_relations man parts = { man; parts }
+
+let cluster t ~threshold =
+  if threshold <= 1 then t
+  else begin
+    let rec go acc current = function
+      | [] -> List.rev (match current with None -> acc | Some c -> c :: acc)
+      | p :: rest -> (
+        match current with
+        | None -> go acc (Some p) rest
+        | Some c ->
+          let candidate = O.band t.man c p in
+          if O.size t.man candidate <= threshold then
+            go acc (Some candidate) rest
+          else go (c :: acc) (Some p) rest)
+    in
+    { t with parts = go [] None t.parts }
+  end
+
+let monolithic t = O.conj t.man t.parts
+
+let size t = O.size_shared t.man t.parts

@@ -1,0 +1,25 @@
+(** Partitioned transition relations [{T_k(i, cs, ns_k) = ns_k ↔ T_k(i,cs)}]
+    and clustering (conjoining adjacent parts up to a size threshold, the
+    usual middle ground between fully-partitioned and monolithic). *)
+
+type t = {
+  man : Bdd.Manager.t;
+  parts : int list;  (** relation conjuncts *)
+}
+
+val of_functions : Bdd.Manager.t -> (int * int) list -> t
+(** [(var, fn)] pairs become parts [var ↔ fn]. Used both for next-state
+    functions (var = a next-state variable) and output/communication
+    functions (var = an output variable, as in the paper's [u_j ↔ U_j]). *)
+
+val of_relations : Bdd.Manager.t -> int list -> t
+
+val cluster : t -> threshold:int -> t
+(** Greedily conjoin consecutive parts while the BDD of the cluster stays
+    under [threshold] nodes. [threshold <= 1] keeps the partition as is. *)
+
+val monolithic : t -> int
+(** The full conjunction (the representation the paper avoids). *)
+
+val size : t -> int
+(** Shared node count of all parts. *)

@@ -1,0 +1,35 @@
+module O = Bdd.Ops
+module S = Network.Symbolic
+
+let transition_partition ?(cluster_threshold = 1) (sym : S.t) =
+  let p = Partition.of_functions sym.man (S.transition_parts sym) in
+  Partition.cluster p ~threshold:cluster_threshold
+
+let step strategy sym parts care =
+  Image.forward_image strategy parts ~inputs:sym.S.input_vars
+    ~state_vars:sym.S.state_vars ~ns_to_cs:(S.ns_to_cs sym) ~care
+
+let reachable ?(strategy = Image.Partitioned Quantify.Greedy)
+    ?(cluster_threshold = 1) (sym : S.t) =
+  let parts = transition_partition ~cluster_threshold sym in
+  let rec fix r =
+    let r' = O.bor sym.man r (step strategy sym parts r) in
+    if r' = r then r else fix r'
+  in
+  fix sym.init_cube
+
+let frontier_reachable ?(strategy = Image.Partitioned Quantify.Greedy)
+    (sym : S.t) =
+  let parts = transition_partition sym in
+  let rec fix r frontier iters =
+    if frontier = Bdd.Manager.zero then (r, iters)
+    else begin
+      let img = step strategy sym parts frontier in
+      let fresh = O.bdiff sym.man img r in
+      fix (O.bor sym.man r fresh) fresh (iters + 1)
+    end
+  in
+  fix sym.init_cube sym.init_cube 0
+
+let count_states (sym : S.t) set =
+  O.sat_count sym.man set (List.length sym.S.state_vars)

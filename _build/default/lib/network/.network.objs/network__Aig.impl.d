@@ -1,0 +1,1 @@
+lib/network/aig.ml: Array Buffer Expr Hashtbl Lazy List Netlist Printf String

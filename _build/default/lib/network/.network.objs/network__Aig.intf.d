@@ -1,0 +1,1 @@
+lib/network/aig.mli: Netlist

@@ -1,0 +1,1 @@
+lib/network/blif.ml: Array Bdd Buffer Bytes Expr Hashtbl List Netlist Printf String

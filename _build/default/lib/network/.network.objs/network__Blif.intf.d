@@ -1,0 +1,1 @@
+lib/network/blif.mli: Netlist

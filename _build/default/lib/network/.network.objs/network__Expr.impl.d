@@ -1,0 +1,1 @@
+lib/network/expr.ml: Bdd Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/network/expr.mli: Bdd Format

@@ -1,0 +1,1 @@
+lib/network/netlist.ml: Array Expr Format Hashtbl List Printf Queue

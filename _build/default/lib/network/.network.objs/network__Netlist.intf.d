@@ -1,0 +1,1 @@
+lib/network/netlist.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/network/symbolic.ml: Array Bdd Expr List Netlist

@@ -1,0 +1,1 @@
+lib/network/symbolic.mli: Bdd Netlist

@@ -1,0 +1,1 @@
+lib/network/transform.ml: Array Expr Hashtbl List Netlist Printf

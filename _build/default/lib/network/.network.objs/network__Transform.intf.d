@@ -1,0 +1,1 @@
+lib/network/transform.mli: Expr Netlist

@@ -1,0 +1,1 @@
+lib/network/vcd.ml: Array Buffer Char List Netlist Printf Random String

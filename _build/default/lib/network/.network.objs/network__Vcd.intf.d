@@ -1,0 +1,1 @@
+lib/network/vcd.mli: Netlist

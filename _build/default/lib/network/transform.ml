@@ -1,0 +1,184 @@
+module E = Expr
+module N = Netlist
+
+let rec simplify_expr (e : E.t) : E.t =
+  match e with
+  | E.Var _ | E.Const _ -> e
+  | E.Not a -> (
+    match simplify_expr a with
+    | E.Const b -> E.Const (not b)
+    | E.Not inner -> inner
+    | a' -> E.Not a')
+  | E.And (a, b) -> (
+    match (simplify_expr a, simplify_expr b) with
+    | E.Const false, _ | _, E.Const false -> E.Const false
+    | E.Const true, x | x, E.Const true -> x
+    | x, y when x = y -> x
+    | x, E.Not y when x = y -> E.Const false
+    | E.Not x, y when x = y -> E.Const false
+    | x, y -> E.And (x, y))
+  | E.Or (a, b) -> (
+    match (simplify_expr a, simplify_expr b) with
+    | E.Const true, _ | _, E.Const true -> E.Const true
+    | E.Const false, x | x, E.Const false -> x
+    | x, y when x = y -> x
+    | x, E.Not y when x = y -> E.Const true
+    | E.Not x, y when x = y -> E.Const true
+    | x, y -> E.Or (x, y))
+  | E.Xor (a, b) -> (
+    match (simplify_expr a, simplify_expr b) with
+    | E.Const false, x | x, E.Const false -> x
+    | E.Const true, x | x, E.Const true -> simplify_expr (E.Not x)
+    | x, y when x = y -> E.Const false
+    | x, y -> E.Xor (x, y))
+  | E.Ite (c, a, b) -> (
+    match (simplify_expr c, simplify_expr a, simplify_expr b) with
+    | E.Const true, x, _ -> x
+    | E.Const false, _, y -> y
+    | _, x, y when x = y -> x
+    | c', E.Const true, E.Const false -> c'
+    | c', E.Const false, E.Const true -> simplify_expr (E.Not c')
+    | c', x, y -> E.Ite (c', x, y))
+
+(* A node's driver after optimization: either a copy of another net, a
+   constant, or a real node. *)
+type resolution = Net of N.net | Constant of bool
+
+let optimize (net : N.t) =
+  let b = N.create net.N.name in
+  let resolution : (N.net, resolution) Hashtbl.t = Hashtbl.create 64 in
+  let resolve id =
+    match Hashtbl.find_opt resolution id with
+    | Some r -> r
+    | None -> invalid_arg "Transform.optimize: unresolved net"
+  in
+  (* structural hashing: (simplified fn, resolved fanins) -> new net *)
+  let structural : (E.t * N.net array, N.net) Hashtbl.t = Hashtbl.create 64 in
+  let constants : (bool, N.net) Hashtbl.t = Hashtbl.create 2 in
+  let constant_net value =
+    match Hashtbl.find_opt constants value with
+    | Some n -> n
+    | None ->
+      let n = N.const_net b value in
+      Hashtbl.replace constants value n;
+      n
+  in
+  let materialize = function
+    | Net n -> n
+    | Constant v -> constant_net v
+  in
+  List.iter
+    (fun id -> Hashtbl.replace resolution id (Net (N.add_input b (N.net_name net id))))
+    net.N.inputs;
+  List.iter
+    (fun id ->
+      Hashtbl.replace resolution id
+        (Net (N.add_latch b ~name:(N.net_name net id)
+                ~init:(N.latch_init net id) ())))
+    net.N.latches;
+  List.iter
+    (fun id ->
+      match net.N.drivers.(id) with
+      | N.Input | N.Latch _ -> ()
+      | N.Node { fanins; fn } ->
+        (* inline constant fanins into the expression, then simplify *)
+        let resolved = Array.map resolve fanins in
+        let fn =
+          E.map_vars
+            (fun k ->
+              match resolved.(k) with
+              | Constant v -> E.Const v
+              | Net _ -> E.Var k)
+            fn
+        in
+        let fn = simplify_expr fn in
+        (* compact the fanin array to the variables still used *)
+        let used = E.support fn in
+        let kept =
+          Array.of_list
+            (List.map (fun k -> materialize resolved.(k)) used)
+        in
+        let renumber =
+          let tbl = Hashtbl.create 8 in
+          List.iteri (fun pos k -> Hashtbl.replace tbl k pos) used;
+          fun k -> E.Var (Hashtbl.find tbl k)
+        in
+        let fn = E.map_vars renumber fn in
+        let res =
+          match fn with
+          | E.Const v -> Constant v
+          | E.Var k -> Net kept.(k)
+          | _ -> (
+            let key = (fn, kept) in
+            match Hashtbl.find_opt structural key with
+            | Some n -> Net n
+            | None ->
+              let n = N.add_node b ~name:(N.net_name net id) fn kept in
+              Hashtbl.replace structural key n;
+              Net n)
+        in
+        Hashtbl.replace resolution id res)
+    (N.topo_order net);
+  List.iter
+    (fun id ->
+      N.set_latch_input b
+        (materialize (resolve id))
+        (materialize (resolve (N.latch_input net id))))
+    net.N.latches;
+  List.iter
+    (fun (name, id) -> N.add_output b name (materialize (resolve id)))
+    net.N.outputs;
+  (* N.freeze keeps every net we created; dead ones are those never used as
+     a fanin, latch input or output. Rebuild once more, keeping only live
+     logic, by walking from outputs and latches. *)
+  let first = N.freeze b in
+  let live = Array.make (Array.length first.N.drivers) false in
+  let rec mark id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      match first.N.drivers.(id) with
+      | N.Input -> ()
+      | N.Latch _ -> mark (N.latch_input first id)
+      | N.Node { fanins; _ } -> Array.iter mark fanins
+    end
+  in
+  List.iter (fun (_, id) -> mark id) first.N.outputs;
+  List.iter mark first.N.latches;
+  List.iter (fun id -> live.(id) <- true) first.N.inputs;
+  let b2 = N.create first.N.name in
+  let map = Hashtbl.create 64 in
+  List.iter
+    (fun id -> Hashtbl.replace map id (N.add_input b2 (N.net_name first id)))
+    first.N.inputs;
+  List.iter
+    (fun id ->
+      if live.(id) then
+        Hashtbl.replace map id
+          (N.add_latch b2 ~name:(N.net_name first id)
+             ~init:(N.latch_init first id) ()))
+    first.N.latches;
+  List.iter
+    (fun id ->
+      if live.(id) then
+        match first.N.drivers.(id) with
+        | N.Input | N.Latch _ -> ()
+        | N.Node { fanins; fn } ->
+          Hashtbl.replace map id
+            (N.add_node b2 ~name:(N.net_name first id) fn
+               (Array.map (Hashtbl.find map) fanins)))
+    (N.topo_order first);
+  List.iter
+    (fun id ->
+      if live.(id) then
+        N.set_latch_input b2 (Hashtbl.find map id)
+          (Hashtbl.find map (N.latch_input first id)))
+    first.N.latches;
+  List.iter
+    (fun (name, id) -> N.add_output b2 name (Hashtbl.find map id))
+    first.N.outputs;
+  N.freeze b2
+
+let stats_delta before after =
+  Printf.sprintf "nodes: %d -> %d, latches: %d -> %d"
+    (N.num_nodes before) (N.num_nodes after)
+    (N.num_latches before) (N.num_latches after)

@@ -1,0 +1,19 @@
+(** Structural netlist clean-up passes: constant propagation, expression
+    simplification, structural hashing (common-subexpression sharing at the
+    node level) and dead-logic sweeping. Behaviour-preserving; used to tidy
+    generated and synthesized circuits. *)
+
+val simplify_expr : Expr.t -> Expr.t
+(** Local rewriting: constant folding, identity/annihilator elimination,
+    double negation, [x ⊕ x], [ite] with constant or equal branches. The
+    result is logically equivalent. *)
+
+val optimize : Netlist.t -> Netlist.t
+(** Full pipeline. Per node: inline constant fanins and simplify; nodes
+    reduced to a constant or a single fanin are bypassed. Structurally
+    identical nodes are merged. Logic feeding neither an output nor a latch
+    is dropped. Inputs, outputs and latches are preserved (same names and
+    order), so the result is pin-compatible and sequentially identical. *)
+
+val stats_delta : Netlist.t -> Netlist.t -> string
+(** Human-readable "nodes: a -> b" summary. *)

@@ -1,0 +1,17 @@
+(** Value Change Dump (IEEE 1364) export of simulation traces, for viewing
+    circuit behaviour in a waveform viewer (GTKWave etc.). *)
+
+val of_trace :
+  ?timescale:string ->
+  Netlist.t ->
+  bool array list ->
+  string
+(** [of_trace net inputs] simulates the network from its initial state on
+    the given input vectors (one per cycle, PI order) and dumps the inputs,
+    outputs and latch states as VCD. *)
+
+val write_file :
+  ?timescale:string -> string -> Netlist.t -> bool array list -> unit
+
+val random_trace : ?seed:int -> Netlist.t -> int -> bool array list
+(** Convenience: a random stimulus of the given length. *)

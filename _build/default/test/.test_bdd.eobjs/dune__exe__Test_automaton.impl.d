@@ -1,0 +1,1 @@
+test/test_automaton.ml: Alcotest Array Bdd Circuits Fsa Fun List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd Float List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuits Fun Hashtbl List Network Printf Random String

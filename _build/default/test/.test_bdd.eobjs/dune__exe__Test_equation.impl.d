@@ -1,0 +1,1 @@
+test/test_equation.ml: Alcotest Array Bdd Circuits Equation Fsa Fun Img List Network Printf QCheck QCheck_alcotest Random

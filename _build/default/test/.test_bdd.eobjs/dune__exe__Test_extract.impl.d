@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Bdd Circuits Equation Filename Fsa List Network Random Sys

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Bdd Circuits Equation Format Harness List Printf Random String

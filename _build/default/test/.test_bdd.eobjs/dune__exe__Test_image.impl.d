@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Bdd Circuits Img List Network Printf Random

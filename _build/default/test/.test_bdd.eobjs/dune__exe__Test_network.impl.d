@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Bdd Circuits Img List Network Printf Random String

@@ -1,0 +1,306 @@
+(* Tests for the sub-solution machinery: Moore machines, extraction from the
+   CSF, minimization, circuit synthesis and the closed-loop certification
+   F × X' ≡ S — the paper's "future work" extension. *)
+
+module M = Bdd.Manager
+module O = Bdd.Ops
+module E = Equation
+module N = Network.Netlist
+module G = Circuits.Generators
+
+let instances () =
+  [ ("counter4", G.counter 4, [ "c1"; "c2" ]);
+    ("gray4", G.gray_counter 4, [ "g1"; "g2" ]);
+    ("lfsr4", G.lfsr 4, [ "r1"; "r2" ]);
+    ("traffic", G.traffic_light (), [ "s0" ]);
+    ("shift4", G.shift_register 4, [ "s1"; "s2" ]);
+    ("rnd", G.random_logic ~seed:3 ~inputs:3 ~outputs:2 ~latches:5 ~levels:3 (),
+     [ "x3"; "x4" ]) ]
+
+let csf_of net x_latches =
+  let sp, p = E.Split.problem net ~x_latches in
+  let solution, _ = E.Partitioned.solve p in
+  (sp, p, E.Csf.csf p solution)
+
+(* --- Machine ------------------------------------------------------------------ *)
+
+let two_state_machine () =
+  (* u = var 0, v = var 1; outputs v=0 in state 0, v=1 in state 1;
+     input u chooses the next state *)
+  let man = M.create () in
+  let u = M.new_var ~name:"u" man and v = M.new_var ~name:"v" man in
+  let m =
+    E.Machine.make man ~u_vars:[ u ] ~v_vars:[ v ] ~initial:0
+      ~outputs:[| O.nvar_bdd man v; O.var_bdd man v |]
+      ~next:
+        [| [ (O.var_bdd man u, 1); (O.nvar_bdd man u, 0) ];
+           [ (M.one, 0) ] |]
+  in
+  (man, u, v, m)
+
+let test_machine_validation () =
+  let man = M.create () in
+  let u = M.new_var man and v = M.new_var man in
+  let bad_output () =
+    ignore
+      (E.Machine.make man ~u_vars:[ u ] ~v_vars:[ v ] ~initial:0
+         ~outputs:[| M.one |] (* not a total assignment *)
+         ~next:[| [ (M.one, 0) ] |]
+        : E.Machine.t)
+  in
+  Alcotest.check_raises "non-assignment output"
+    (Invalid_argument "Machine.make: output is not a total v assignment")
+    bad_output;
+  let uncovered () =
+    ignore
+      (E.Machine.make man ~u_vars:[ u ] ~v_vars:[ v ] ~initial:0
+         ~outputs:[| O.var_bdd man v |]
+         ~next:[| [ (O.var_bdd man u, 0) ] |]
+        : E.Machine.t)
+  in
+  Alcotest.check_raises "input space not covered"
+    (Invalid_argument "Machine.make: u guards do not cover the input space")
+    uncovered
+
+let test_machine_step_and_outputs () =
+  let _, _, _, m = two_state_machine () in
+  Alcotest.(check (list bool)) "state 0 output" [ false ]
+    (E.Machine.output_bits m 0);
+  Alcotest.(check (list bool)) "state 1 output" [ true ]
+    (E.Machine.output_bits m 1);
+  Alcotest.(check int) "step on u=1" 1 (E.Machine.step m 0 (fun _ -> true));
+  Alcotest.(check int) "step on u=0" 0 (E.Machine.step m 0 (fun _ -> false));
+  Alcotest.(check int) "state 1 always back" 0
+    (E.Machine.step m 1 (fun _ -> true))
+
+let test_machine_automaton_consistency () =
+  let man, u, v, m = two_state_machine () in
+  let auto = E.Machine.to_automaton m in
+  (* simulate the machine on random input words and check the
+     corresponding (u,v) word is accepted *)
+  let rng = Random.State.make [| 13 |] in
+  for _ = 1 to 50 do
+    let len = Random.State.int rng 6 in
+    let word = ref [] in
+    let s = ref m.E.Machine.initial in
+    for _ = 1 to len do
+      let bit = Random.State.bool rng in
+      let out = List.hd (E.Machine.output_bits m !s) in
+      word := O.cube_of_literals man [ (u, bit); (v, out) ] :: !word;
+      s := E.Machine.step m !s (fun _ -> bit)
+    done;
+    Alcotest.(check bool) "trace accepted" true
+      (Fsa.Language.accepts auto (List.rev !word))
+  done
+
+let test_machine_netlist_simulation () =
+  (* the synthesized circuit must implement the machine exactly *)
+  List.iter
+    (fun (name, net, xl) ->
+      let _, p, csf = csf_of net xl in
+      ignore p;
+      match E.Extract.moore_sub_solution p csf with
+      | None -> Alcotest.fail (name ^ ": expected a machine")
+      | Some m ->
+        let xnet = E.Machine.to_netlist m in
+        let rng = Random.State.make [| 21 |] in
+        let nu = List.length m.E.Machine.u_vars in
+        let st = ref (N.initial_state xnet) in
+        let ms = ref m.E.Machine.initial in
+        for _ = 1 to 100 do
+          let inputs = Array.init nu (fun _ -> Random.State.bool rng) in
+          let out, st' = N.step xnet !st inputs in
+          (* netlist outputs = machine outputs of the CURRENT state *)
+          Alcotest.(check (list bool))
+            (name ^ ": outputs agree")
+            (E.Machine.output_bits m !ms)
+            (Array.to_list out);
+          let u_assign w =
+            let rec idx k = function
+              | [] -> assert false
+              | x :: rest -> if x = w then k else idx (k + 1) rest
+            in
+            inputs.(idx 0 m.E.Machine.u_vars)
+          in
+          ms := E.Machine.step m !ms u_assign;
+          st := st'
+        done)
+    [ List.hd (instances ()) ]
+
+let test_machine_minimize () =
+  List.iter
+    (fun (name, net, xl) ->
+      let _, p, csf = csf_of net xl in
+      ignore p;
+      match E.Extract.moore_sub_solution p csf with
+      | None -> Alcotest.fail (name ^ ": expected a machine")
+      | Some m ->
+        let mm = E.Machine.minimize m in
+        Alcotest.(check bool) (name ^ ": minimize shrinks or keeps") true
+          (E.Machine.num_states mm <= E.Machine.num_states m);
+        Alcotest.(check bool) (name ^ ": same behaviour") true
+          (Fsa.Language.equivalent
+             (E.Machine.to_automaton m)
+             (E.Machine.to_automaton mm));
+        (* idempotence *)
+        Alcotest.(check int) (name ^ ": idempotent")
+          (E.Machine.num_states mm)
+          (E.Machine.num_states (E.Machine.minimize mm)))
+    (instances ())
+
+(* --- Extraction ----------------------------------------------------------------- *)
+
+let test_extraction_contained_and_certified () =
+  List.iter
+    (fun (name, net, xl) ->
+      let _, p, csf = csf_of net xl in
+      List.iter
+        (fun (hname, heuristic) ->
+          match E.Extract.resynthesize ~heuristic p csf with
+          | None -> Alcotest.fail (name ^ "/" ^ hname ^ ": no machine")
+          | Some (xnet, m) ->
+            Alcotest.(check bool)
+              (name ^ "/" ^ hname ^ ": behaviour in CSF")
+              true
+              (Fsa.Language.subset (E.Machine.to_automaton m) csf);
+            Alcotest.(check bool)
+              (name ^ "/" ^ hname ^ ": F x X' = S")
+              true
+              (E.Verify.composition_with_machine p m);
+            Alcotest.(check int)
+              (name ^ "/" ^ hname ^ ": netlist interface")
+              (List.length m.E.Machine.u_vars)
+              (N.num_inputs xnet))
+        [ ("first", E.Extract.First);
+          ("self-loops", E.Extract.Prefer_self_loops) ])
+    (instances ())
+
+let test_extraction_prefer_bank () =
+  (* biasing the choice toward the latch bank's outputs reproduces a machine
+     whose behaviour is language-equivalent to the bank on counter4 *)
+  let sp, p, csf = csf_of (G.counter 4) [ "c1"; "c2" ] in
+  let man = p.E.Problem.man in
+  (* prefer v = current bank state is not expressible statically, but
+     preferring v = 00 everywhere still must yield a valid machine *)
+  let zero_cube =
+    O.cube_of_literals man
+      (List.map (fun v -> (v, false)) p.E.Problem.v_vars)
+  in
+  (match E.Extract.moore_sub_solution ~heuristic:(E.Extract.Prefer zero_cube) p csf with
+   | None -> Alcotest.fail "expected a machine"
+   | Some m ->
+     Alcotest.(check bool) "certified" true
+       (E.Verify.composition_with_machine p m));
+  ignore sp
+
+let test_extraction_empty_csf () =
+  let _, p = E.Split.problem (G.counter 3) ~x_latches:[ "c0" ] in
+  let empty =
+    Fsa.Automaton.empty p.E.Problem.man
+      ~alphabet:(p.E.Problem.u_vars @ p.E.Problem.v_vars)
+  in
+  Alcotest.(check bool) "no machine from empty CSF" true
+    (E.Extract.moore_sub_solution p empty = None)
+
+let test_extraction_no_moore_choice () =
+  (* an automaton that forces v = u at every step admits no Moore output *)
+  let _, p = E.Split.problem (G.counter 3) ~x_latches:[ "c0" ] in
+  let man = p.E.Problem.man in
+  let u = List.hd p.E.Problem.u_vars and v = List.hd p.E.Problem.v_vars in
+  let eq = O.bxnor man (O.var_bdd man u) (O.var_bdd man v) in
+  let t =
+    Fsa.Automaton.make man ~alphabet:[ u; v ] ~initial:0
+      ~accepting:[| true |] ~edges:[| [ (eq, 0) ] |] ()
+  in
+  Alcotest.(check bool) "no Moore sub-solution" true
+    (E.Extract.moore_sub_solution p t = None)
+
+(* --- KISS2 ------------------------------------------------------------------ *)
+
+let test_kiss2_roundtrip () =
+  let _, _, _, m = two_state_machine () in
+  let text = E.Kiss.to_kiss2 m in
+  let back =
+    E.Kiss.of_kiss2 m.E.Machine.man ~u_vars:m.E.Machine.u_vars
+      ~v_vars:m.E.Machine.v_vars text
+  in
+  Alcotest.(check int) "states" (E.Machine.num_states m)
+    (E.Machine.num_states back);
+  Alcotest.(check bool) "same behaviour" true
+    (Fsa.Language.equivalent
+       (E.Machine.to_automaton m)
+       (E.Machine.to_automaton back))
+
+let test_kiss2_extracted_roundtrip () =
+  let _, p, csf = csf_of (G.counter 4) [ "c1"; "c2" ] in
+  match E.Extract.moore_sub_solution p csf with
+  | None -> Alcotest.fail "expected machine"
+  | Some m ->
+    let m = E.Machine.minimize m in
+    let text = E.Kiss.to_kiss2 m in
+    let back =
+      E.Kiss.of_kiss2 p.E.Problem.man ~u_vars:m.E.Machine.u_vars
+        ~v_vars:m.E.Machine.v_vars text
+    in
+    Alcotest.(check bool) "behaviour preserved" true
+      (Fsa.Language.equivalent
+         (E.Machine.to_automaton m)
+         (E.Machine.to_automaton back))
+
+let test_aut_file_io () =
+  (* CSF -> .aut file -> parse -> same language *)
+  let _, p, csf = csf_of (G.counter 3) [ "c1" ] in
+  let path = Filename.temp_file "csf" ".aut" in
+  Fsa.Aut.write_file path csf;
+  let back =
+    Fsa.Aut.parse_file p.E.Problem.man ~vars:csf.Fsa.Automaton.alphabet path
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true
+    (Fsa.Language.equivalent csf back)
+
+let test_composition_rejects_wrong_bank () =
+  (* a latch bank starting from the wrong state must fail check (2) *)
+  let sp, p = E.Split.problem (G.lfsr 4) ~x_latches:[ "r0"; "r1" ] in
+  Alcotest.(check bool) "correct bank passes" true
+    (E.Verify.composition_equals_spec p sp);
+  let wrong = { sp with E.Split.x_init = List.map not sp.E.Split.x_init } in
+  Alcotest.(check bool) "mis-initialized bank fails" false
+    (E.Verify.composition_equals_spec p wrong)
+
+let test_kiss2_rejects_mealy () =
+  let man = M.create () in
+  let text = ".i 1\n.o 1\n.p 2\n.s 1\n.r s0\n0 s0 s0 0\n1 s0 s0 1\n.e\n" in
+  Alcotest.(check bool) "mealy rejected" true
+    (match E.Kiss.of_kiss2 man text with
+     | exception E.Kiss.Parse_error _ -> true
+     | _ -> false)
+
+let () =
+  Alcotest.run "extract"
+    [ ( "machine",
+        [ Alcotest.test_case "validation" `Quick test_machine_validation;
+          Alcotest.test_case "step + outputs" `Quick
+            test_machine_step_and_outputs;
+          Alcotest.test_case "automaton consistency" `Quick
+            test_machine_automaton_consistency;
+          Alcotest.test_case "netlist simulation" `Quick
+            test_machine_netlist_simulation;
+          Alcotest.test_case "minimize" `Quick test_machine_minimize ] );
+      ( "extraction",
+        [ Alcotest.test_case "contained + certified" `Slow
+            test_extraction_contained_and_certified;
+          Alcotest.test_case "prefer heuristic" `Quick
+            test_extraction_prefer_bank;
+          Alcotest.test_case "empty CSF" `Quick test_extraction_empty_csf;
+          Alcotest.test_case "no Moore choice" `Quick
+            test_extraction_no_moore_choice ] );
+      ( "io+verify",
+        [ Alcotest.test_case "aut file io" `Quick test_aut_file_io;
+          Alcotest.test_case "wrong bank rejected" `Quick
+            test_composition_rejects_wrong_bank ] );
+      ( "kiss2",
+        [ Alcotest.test_case "roundtrip" `Quick test_kiss2_roundtrip;
+          Alcotest.test_case "extracted machine" `Quick
+            test_kiss2_extracted_roundtrip;
+          Alcotest.test_case "rejects mealy" `Quick test_kiss2_rejects_mealy ] ) ]

@@ -1,0 +1,153 @@
+(* Tests for the subset-splitting kernel shared by both determinization
+   flows, and for the Table-1 experiment harness. *)
+
+module M = Bdd.Manager
+module O = Bdd.Ops
+module E = Equation
+module H = Harness.Experiments
+
+(* --- Subset.split_successors ------------------------------------------------- *)
+
+let random_bdd man nvars rng =
+  let rec go depth =
+    if depth = 0 then
+      let v = Random.State.int rng nvars in
+      if Random.State.bool rng then O.var_bdd man v else O.nvar_bdd man v
+    else
+      match Random.State.int rng 3 with
+      | 0 -> O.band man (go (depth - 1)) (go (depth - 1))
+      | 1 -> O.bor man (go (depth - 1)) (go (depth - 1))
+      | _ -> O.bxor man (go (depth - 1)) (go (depth - 1))
+  in
+  go 3
+
+let test_split_successors_properties () =
+  let rng = Random.State.make [| 77 |] in
+  for _ = 1 to 100 do
+    let man = M.create () in
+    (* alphabet vars 0..2, ns vars 3..5 *)
+    ignore (M.new_vars man 6 : int list);
+    let alphabet = [ 0; 1; 2 ] and ns = [ 3; 4; 5 ] in
+    let p = random_bdd man 6 rng in
+    let ns_cube = O.cube_of_vars man ns in
+    let splits =
+      E.Subset.split_successors man ~p ~alphabet ~ns_cube
+    in
+    let domain = O.exists man ns_cube p in
+    (* guards are non-zero, pairwise disjoint, and cover the domain *)
+    List.iter
+      (fun (g, succ) ->
+        Alcotest.(check bool) "guard non-zero" true (g <> M.zero);
+        Alcotest.(check bool) "successor non-zero" true (succ <> M.zero))
+      splits;
+    let rec disjoint = function
+      | [] -> true
+      | (g, _) :: rest ->
+        List.for_all (fun (h, _) -> O.band man g h = M.zero) rest
+        && disjoint rest
+    in
+    Alcotest.(check bool) "guards disjoint" true (disjoint splits);
+    Alcotest.(check int) "guards cover the domain" domain
+      (O.disj man (List.map fst splits));
+    (* each successor is the cofactor of p at any symbol of its guard, and
+       rebuilding p from the pieces gives p back *)
+    let rebuilt =
+      O.disj man (List.map (fun (g, succ) -> O.band man g succ) splits)
+    in
+    Alcotest.(check int) "splits rebuild p" p rebuilt;
+    List.iter
+      (fun (g, succ) ->
+        match O.pick_minterm man g alphabet with
+        | None -> Alcotest.fail "empty guard"
+        | Some lits ->
+          let sym = O.cube_of_literals man lits in
+          Alcotest.(check int) "successor = cofactor" succ
+            (O.cofactor_cube man p sym))
+      splits
+  done
+
+let test_split_successors_empty () =
+  let man = M.create () in
+  ignore (M.new_vars man 4 : int list);
+  let ns_cube = O.cube_of_vars man [ 2; 3 ] in
+  Alcotest.(check (list (pair int int))) "empty relation" []
+    (E.Subset.split_successors man ~p:M.zero ~alphabet:[ 0; 1 ] ~ns_cube)
+
+let test_split_successors_single () =
+  let man = M.create () in
+  ignore (M.new_vars man 2 : int list);
+  (* P = ns0 (successor {ns0=1} for every symbol over alphabet {0}) *)
+  let p = O.var_bdd man 1 in
+  let ns_cube = O.cube_of_vars man [ 1 ] in
+  match E.Subset.split_successors man ~p ~alphabet:[ 0 ] ~ns_cube with
+  | [ (g, succ) ] ->
+    Alcotest.(check int) "guard is all symbols" M.one g;
+    Alcotest.(check int) "successor is ns0" p succ
+  | other ->
+    Alcotest.fail (Printf.sprintf "expected one split, got %d" (List.length other))
+
+(* --- Harness ------------------------------------------------------------------ *)
+
+let test_run_row_completes () =
+  let row = Circuits.Suite.find "t510" in
+  let r = H.run_row ~time_limit:60.0 row in
+  (match r.H.part with
+   | E.Solve.Completed rep ->
+     Alcotest.(check bool) "csf states positive" true (rep.E.Solve.csf_states > 0)
+   | E.Solve.Could_not_complete _ -> Alcotest.fail "t510 partitioned CNC");
+  (match r.H.mono with
+   | E.Solve.Completed rep ->
+     (match r.H.part with
+      | E.Solve.Completed prep ->
+        Alcotest.(check int) "methods agree on CSF size"
+          prep.E.Solve.csf_states rep.E.Solve.csf_states
+      | E.Solve.Could_not_complete _ -> ())
+   | E.Solve.Could_not_complete _ -> Alcotest.fail "t510 monolithic CNC");
+  match H.verify_row r with
+  | Some (contained, equal) ->
+    Alcotest.(check bool) "verified containment" true contained;
+    Alcotest.(check bool) "verified composition" true equal
+  | None -> Alcotest.fail "expected verification"
+
+let test_run_row_cnc () =
+  let row = Circuits.Suite.find "t298" in
+  let r = H.run_row ~node_limit:100 row in
+  (match r.H.part with
+   | E.Solve.Could_not_complete { reason; _ } ->
+     Alcotest.(check string) "node-limit reason" "node limit exceeded" reason
+   | E.Solve.Completed _ -> Alcotest.fail "expected CNC under 100 nodes");
+  Alcotest.(check bool) "no verification for CNC" true
+    (H.verify_row r = None)
+
+let test_print_table1_format () =
+  let row = Circuits.Suite.find "t510" in
+  let r = H.run_row ~time_limit:60.0 row in
+  let cnc =
+    { r with
+      H.mono =
+        E.Solve.Could_not_complete { cpu_seconds = 1.0; reason = "test" } }
+  in
+  let out = Format.asprintf "%a" H.print_table1 [ r; cnc ] in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun col ->
+      Alcotest.(check bool) (col ^ " column present") true (contains col out))
+    [ "Name"; "i/o/cs"; "Fcs/Xcs"; "States(X)"; "Part,s"; "Mono,s"; "Ratio" ];
+  Alcotest.(check bool) "CNC rendered" true (contains "CNC" out);
+  Alcotest.(check bool) "row name rendered" true (contains "t510" out)
+
+let () =
+  Alcotest.run "harness"
+    [ ( "subset splitting",
+        [ Alcotest.test_case "properties" `Quick
+            test_split_successors_properties;
+          Alcotest.test_case "empty" `Quick test_split_successors_empty;
+          Alcotest.test_case "single" `Quick test_split_successors_single ] );
+      ( "experiments",
+        [ Alcotest.test_case "run row" `Quick test_run_row_completes;
+          Alcotest.test_case "cnc row" `Quick test_run_row_cnc;
+          Alcotest.test_case "table format" `Quick test_print_table1_format ] ) ]

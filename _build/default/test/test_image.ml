@@ -1,0 +1,304 @@
+(* Tests for the img library: early-quantification scheduling agrees with
+   the monolithic computation, images agree across strategies, clustering
+   preserves semantics, and symbolic reachability matches explicit state
+   enumeration. *)
+
+module M = Bdd.Manager
+module O = Bdd.Ops
+module Q = Img.Quantify
+module P = Img.Partition
+module I = Img.Image
+module R = Img.Reach
+module S = Network.Symbolic
+
+(* random small formulas over n vars, reused from the BDD tests' idea *)
+let random_bdd man nvars rng =
+  let rec go depth =
+    if depth = 0 then
+      let v = Random.State.int rng nvars in
+      if Random.State.bool rng then O.var_bdd man v else O.nvar_bdd man v
+    else
+      match Random.State.int rng 3 with
+      | 0 -> O.band man (go (depth - 1)) (go (depth - 1))
+      | 1 -> O.bor man (go (depth - 1)) (go (depth - 1))
+      | _ -> O.bxor man (go (depth - 1)) (go (depth - 1))
+  in
+  go 3
+
+let test_and_exists_agrees () =
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 50 do
+    let man = M.create () in
+    let nvars = 8 in
+    ignore (M.new_vars man nvars : int list);
+    let rels = List.init 5 (fun _ -> random_bdd man nvars rng) in
+    let quantify = [ 1; 3; 5 ] in
+    let mono = Q.monolithic_and_exists man rels ~quantify in
+    Alcotest.(check int) "greedy = monolithic" mono
+      (Q.and_exists_list man ~order:Q.Greedy rels ~quantify);
+    Alcotest.(check int) "given = monolithic" mono
+      (Q.and_exists_list man ~order:Q.Given rels ~quantify)
+  done
+
+let test_and_exists_empty_quantify () =
+  let man = M.create () in
+  ignore (M.new_vars man 4 : int list);
+  let a = O.var_bdd man 0 and b = O.var_bdd man 2 in
+  Alcotest.(check int) "plain conjunction" (O.band man a b)
+    (Q.and_exists_list man [ a; b ] ~quantify:[])
+
+let test_and_exists_all_quantified () =
+  let man = M.create () in
+  ignore (M.new_vars man 2 : int list);
+  let a = O.var_bdd man 0 in
+  let na = O.nvar_bdd man 0 in
+  Alcotest.(check int) "unsat product" M.zero
+    (Q.and_exists_list man [ a; na ] ~quantify:[ 0; 1 ]);
+  Alcotest.(check int) "sat product" M.one
+    (Q.and_exists_list man [ a; a ] ~quantify:[ 0; 1 ])
+
+let test_forall_list () =
+  let man = M.create () in
+  ignore (M.new_vars man 2 : int list);
+  let f = O.bor man (O.var_bdd man 0) (O.var_bdd man 1) in
+  Alcotest.(check int) "forall x0 (x0|x1) = x1" (O.var_bdd man 1)
+    (Q.and_forall_list man [ f ] ~quantify:[ 0 ])
+
+let test_cluster_preserves_product () =
+  let rng = Random.State.make [| 23 |] in
+  for _ = 1 to 20 do
+    let man = M.create () in
+    ignore (M.new_vars man 8 : int list);
+    let parts = List.init 6 (fun _ -> random_bdd man 8 rng) in
+    let p = P.of_relations man parts in
+    let clustered = P.cluster p ~threshold:25 in
+    Alcotest.(check int) "same product" (P.monolithic p)
+      (P.monolithic clustered);
+    Alcotest.(check bool) "no more parts than before" true
+      (List.length clustered.P.parts <= List.length p.P.parts)
+  done
+
+let strategies =
+  [ ("monolithic", I.Monolithic);
+    ("partitioned-given", I.Partitioned Q.Given);
+    ("partitioned-greedy", I.Partitioned Q.Greedy) ]
+
+let test_image_strategies_agree () =
+  let nets =
+    [ Circuits.Generators.counter 4; Circuits.Generators.lfsr 5;
+      Circuits.Generators.traffic_light () ]
+  in
+  List.iter
+    (fun net ->
+      let man = M.create () in
+      let sym = S.of_netlist man net in
+      let parts = P.of_functions man (S.transition_parts sym) in
+      let care = sym.S.init_cube in
+      let reference =
+        I.forward_image I.Monolithic parts ~inputs:sym.S.input_vars
+          ~state_vars:sym.S.state_vars ~ns_to_cs:(S.ns_to_cs sym) ~care
+      in
+      List.iter
+        (fun (name, strat) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s image" name)
+            reference
+            (I.forward_image strat parts ~inputs:sym.S.input_vars
+               ~state_vars:sym.S.state_vars ~ns_to_cs:(S.ns_to_cs sym) ~care))
+        strategies)
+    nets
+
+let test_preimage_inverts () =
+  (* for a deterministic machine, preimage(image(init)) must contain init *)
+  let man = M.create () in
+  let sym = S.of_netlist man (Circuits.Generators.counter 3) in
+  let parts = P.of_functions man (S.transition_parts sym) in
+  let img =
+    I.forward_image (I.Partitioned Q.Greedy) parts ~inputs:sym.S.input_vars
+      ~state_vars:sym.S.state_vars ~ns_to_cs:(S.ns_to_cs sym)
+      ~care:sym.S.init_cube
+  in
+  let pre =
+    I.preimage (I.Partitioned Q.Greedy) parts ~inputs:sym.S.input_vars
+      ~next_state_vars:sym.S.next_state_vars ~cs_to_ns:(S.cs_to_ns sym)
+      ~care:img
+  in
+  Alcotest.(check int) "init ⊆ preimage of its image" sym.S.init_cube
+    (O.band man sym.S.init_cube pre)
+
+let test_reachable_counts () =
+  let cases =
+    [ (Circuits.Generators.counter 3, 8.0);
+      (Circuits.Generators.counter 5, 32.0);
+      (Circuits.Generators.johnson 4, 8.0);
+      (Circuits.Generators.traffic_light (), 4.0);
+      (Circuits.Generators.shift_register 4, 16.0) ]
+  in
+  List.iter
+    (fun (net, expected) ->
+      let man = M.create () in
+      let sym = S.of_netlist man net in
+      let r = R.reachable sym in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "reach %s" net.Network.Netlist.name)
+        expected (R.count_states sym r))
+    cases
+
+let test_reachable_matches_explicit () =
+  let nets =
+    [ Circuits.Generators.lfsr 5; Circuits.Generators.arbiter 3;
+      Circuits.Generators.gray_counter 4 ]
+  in
+  List.iter
+    (fun net ->
+      let man = M.create () in
+      let sym = S.of_netlist man net in
+      let symbolic = R.count_states sym (R.reachable sym) in
+      let explicit =
+        float_of_int (List.length (Network.Netlist.reachable_states net))
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "reach %s" net.Network.Netlist.name)
+        explicit symbolic)
+    nets
+
+let test_reachable_strategies_agree () =
+  let net = Circuits.Generators.lfsr 6 in
+  let man = M.create () in
+  let sym = S.of_netlist man net in
+  let a = R.reachable ~strategy:I.Monolithic sym in
+  let b = R.reachable ~strategy:(I.Partitioned Q.Greedy) sym in
+  let c = R.reachable ~strategy:(I.Partitioned Q.Given) sym in
+  let d = R.reachable ~cluster_threshold:100 sym in
+  Alcotest.(check int) "mono = greedy" a b;
+  Alcotest.(check int) "mono = given" a c;
+  Alcotest.(check int) "mono = clustered" a d
+
+let test_frontier_reachable () =
+  let man = M.create () in
+  let sym = S.of_netlist man (Circuits.Generators.counter 4) in
+  let full = R.reachable sym in
+  let frontier, iters = R.frontier_reachable sym in
+  Alcotest.(check int) "same fixpoint" full frontier;
+  (* a 4-bit counter has diameter 15: the frontier loop needs 16 images *)
+  Alcotest.(check int) "iterations = diameter + 1" 16 iters
+
+(* --- Equiv ---------------------------------------------------------------- *)
+
+let run_trace net trace =
+  (* outputs observed at the last step of the input sequence *)
+  let st = ref (Network.Netlist.initial_state net) in
+  let last = ref [||] in
+  List.iter
+    (fun inputs ->
+      let out, st' = Network.Netlist.step net !st inputs in
+      last := out;
+      st := st')
+    trace;
+  !last
+
+let test_equiv_identical () =
+  let a = Circuits.Generators.counter 4 in
+  let b = Circuits.Generators.counter 4 in
+  Alcotest.(check bool) "identical counters" true
+    (Img.Equiv.check a b = Img.Equiv.Equivalent)
+
+let test_equiv_optimized () =
+  List.iter
+    (fun net ->
+      let opt = Network.Transform.optimize net in
+      Alcotest.(check bool)
+        (net.Network.Netlist.name ^ " ~ optimized")
+        true
+        (Img.Equiv.check net opt = Img.Equiv.Equivalent))
+    [ Circuits.Generators.traffic_light ();
+      Circuits.Generators.vending ();
+      Circuits.Generators.random_logic ~seed:6 ~inputs:3 ~outputs:2
+        ~latches:5 ~levels:3 () ]
+
+let test_equiv_detects_difference () =
+  (* counters with different widths have the same interface but diverge at
+     the carry *)
+  let a = Circuits.Generators.counter 3 in
+  let b = Circuits.Generators.counter 4 in
+  match Img.Equiv.check a b with
+  | Img.Equiv.Equivalent -> Alcotest.fail "expected difference"
+  | Img.Equiv.Different trace ->
+    Alcotest.(check bool) "trace non-empty" true (trace <> []);
+    (* replaying the trace must expose the mismatch on the final cycle *)
+    let oa = run_trace a trace and ob = run_trace b trace in
+    Alcotest.(check bool) "trace distinguishes" true (oa <> ob);
+    (* the counters first differ at the 3-bit carry: cycle 8 *)
+    Alcotest.(check int) "shortest trace" 8 (List.length trace)
+
+let test_equiv_initial_difference () =
+  let mk init =
+    let b = Network.Netlist.create "one" in
+    let l = Network.Netlist.add_latch b ~name:"q" ~init () in
+    let inp = Network.Netlist.add_input b "i" in
+    Network.Netlist.set_latch_input b l inp;
+    Network.Netlist.add_output b "o" l;
+    Network.Netlist.freeze b
+  in
+  match Img.Equiv.check (mk false) (mk true) with
+  | Img.Equiv.Different [ _ ] -> ()
+  | Img.Equiv.Different t ->
+    Alcotest.fail
+      (Printf.sprintf "expected length-1 trace, got %d" (List.length t))
+  | Img.Equiv.Equivalent -> Alcotest.fail "expected difference"
+
+let test_equiv_interface_mismatch () =
+  Alcotest.(check bool) "interface mismatch rejected" true
+    (match
+       Img.Equiv.check (Circuits.Generators.counter 2)
+         (Circuits.Generators.traffic_light ())
+     with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_equiv_random_search () =
+  let a = Circuits.Generators.counter 3 in
+  let b = Circuits.Generators.counter 4 in
+  (match Img.Equiv.random_search ~rounds:5000 a b with
+   | Some trace ->
+     Alcotest.(check bool) "witness distinguishes" true
+       (run_trace a trace <> run_trace b trace)
+   | None -> Alcotest.fail "random search should find the carry divergence");
+  Alcotest.(check bool) "no witness on equal machines" true
+    (Img.Equiv.random_search (Circuits.Generators.counter 3)
+       (Circuits.Generators.counter 3)
+     = None)
+
+let () =
+  Alcotest.run "image"
+    [ ( "quantify",
+        [ Alcotest.test_case "agrees with monolithic" `Quick
+            test_and_exists_agrees;
+          Alcotest.test_case "empty quantifier" `Quick
+            test_and_exists_empty_quantify;
+          Alcotest.test_case "full quantification" `Quick
+            test_and_exists_all_quantified;
+          Alcotest.test_case "forall" `Quick test_forall_list ] );
+      ( "partition",
+        [ Alcotest.test_case "clustering" `Quick test_cluster_preserves_product ] );
+      ( "image",
+        [ Alcotest.test_case "strategies agree" `Quick
+            test_image_strategies_agree;
+          Alcotest.test_case "preimage" `Quick test_preimage_inverts ] );
+      ( "reach",
+        [ Alcotest.test_case "known counts" `Quick test_reachable_counts;
+          Alcotest.test_case "matches explicit" `Quick
+            test_reachable_matches_explicit;
+          Alcotest.test_case "strategies agree" `Quick
+            test_reachable_strategies_agree;
+          Alcotest.test_case "frontier" `Quick test_frontier_reachable ] );
+      ( "equiv",
+        [ Alcotest.test_case "identical" `Quick test_equiv_identical;
+          Alcotest.test_case "vs optimized" `Quick test_equiv_optimized;
+          Alcotest.test_case "detects difference" `Quick
+            test_equiv_detects_difference;
+          Alcotest.test_case "initial state difference" `Quick
+            test_equiv_initial_difference;
+          Alcotest.test_case "interface mismatch" `Quick
+            test_equiv_interface_mismatch;
+          Alcotest.test_case "random search" `Quick test_equiv_random_search ] ) ]

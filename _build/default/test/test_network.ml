@@ -1,0 +1,472 @@
+(* Tests for the network library: expressions, netlist construction and
+   simulation, BLIF round-trips, and consistency of the symbolic
+   (partitioned BDD) extraction with explicit simulation. *)
+
+module E = Network.Expr
+module N = Network.Netlist
+module B = Network.Blif
+module S = Network.Symbolic
+
+(* --- Expr ----------------------------------------------------------------- *)
+
+let test_expr_eval () =
+  let e = E.Ite (E.Var 0, E.Xor (E.Var 1, E.Const true), E.And (E.Var 1, E.Var 2)) in
+  let env values k = List.nth values k in
+  Alcotest.(check bool) "ite true branch" false
+    (E.eval (env [ true; true; false ]) e);
+  Alcotest.(check bool) "ite false branch" true
+    (E.eval (env [ false; true; true ]) e)
+
+let test_expr_support () =
+  let e = E.Or (E.Var 3, E.Not (E.Var 1)) in
+  Alcotest.(check (list int)) "support" [ 1; 3 ] (E.support e)
+
+let test_expr_cover () =
+  (* cover rows: 1-0 -> 1 ; 011 -> 1 *)
+  let e = E.of_cover ~ncols:3 [ ("1-0", true); ("011", true) ] in
+  let eval bits = E.eval (fun k -> List.nth bits k) e in
+  Alcotest.(check bool) "row1 matches" true (eval [ true; false; false ]);
+  Alcotest.(check bool) "row2 matches" true (eval [ false; true; true ]);
+  Alcotest.(check bool) "no match" false (eval [ false; false; false ])
+
+let test_expr_cover_complement () =
+  let e = E.of_cover ~ncols:1 [ ("1", false) ] in
+  Alcotest.(check bool) "0 phase" true (E.eval (fun _ -> false) e);
+  Alcotest.(check bool) "0 phase on 1" false (E.eval (fun _ -> true) e)
+
+let test_expr_cover_empty () =
+  let e = E.of_cover ~ncols:2 [] in
+  Alcotest.(check bool) "empty cover is false" false
+    (E.eval (fun _ -> true) e)
+
+(* --- Netlist -------------------------------------------------------------- *)
+
+let toggle_net () =
+  (* one latch toggling under input [en]; output is the latch *)
+  let b = N.create "toggle" in
+  let en = N.add_input b "en" in
+  let l = N.add_latch b ~name:"q" ~init:false () in
+  let nxt = N.add_node b ~name:"nxt" (E.Xor (E.Var 0, E.Var 1)) [| en; l |] in
+  N.set_latch_input b l nxt;
+  N.add_output b "q" l;
+  N.freeze b
+
+let test_netlist_counts () =
+  let net = toggle_net () in
+  Alcotest.(check int) "inputs" 1 (N.num_inputs net);
+  Alcotest.(check int) "outputs" 1 (N.num_outputs net);
+  Alcotest.(check int) "latches" 1 (N.num_latches net);
+  Alcotest.(check int) "nodes" 1 (N.num_nodes net)
+
+let test_netlist_step () =
+  let net = toggle_net () in
+  let st = N.initial_state net in
+  let out, st1 = N.step net st [| true |] in
+  Alcotest.(check bool) "output reads current state" false out.(0);
+  Alcotest.(check bool) "toggled" true st1.(0);
+  let _, st2 = N.step net st1 [| false |] in
+  Alcotest.(check bool) "held" true st2.(0)
+
+let test_netlist_cycle_detected () =
+  let b = N.create "cyclic" in
+  let l = N.add_latch b ~name:"q" ~init:false () in
+  (* a combinational 2-cycle *)
+  let n1 = N.add_node b (E.Var 0) [| l |] in
+  (* build a cycle by making a node that will eventually feed itself *)
+  let n2 = N.add_node b (E.Var 0) [| n1 |] in
+  ignore n2;
+  N.set_latch_input b l n1;
+  (* no cycle yet: freeze succeeds *)
+  ignore (N.freeze b : N.t);
+  (* a genuinely cyclic net cannot even be expressed through the builder
+     without forward references, which only latches provide; so instead we
+     check that a disconnected latch is rejected *)
+  let b2 = N.create "dangling" in
+  let _ = N.add_latch b2 ~name:"q" ~init:false () in
+  Alcotest.check_raises "disconnected latch"
+    (Invalid_argument "Netlist.freeze: latch q disconnected") (fun () ->
+      ignore (N.freeze b2 : N.t))
+
+let test_reachable_counter () =
+  let net = Circuits.Generators.counter 3 in
+  Alcotest.(check int) "counter visits all 8 states" 8
+    (List.length (N.reachable_states net))
+
+let test_reachable_johnson () =
+  let net = Circuits.Generators.johnson 3 in
+  (* a 3-stage Johnson counter cycles through 6 of 8 states *)
+  Alcotest.(check int) "johnson ring length" 6
+    (List.length (N.reachable_states net))
+
+(* --- BLIF ----------------------------------------------------------------- *)
+
+let example_blif =
+  {|# a 2-latch example
+.model fig3
+.inputs i
+.outputs o
+.latch n1 cs1 0
+.latch n2 cs2 0
+.names i cs2 n1
+11 1
+.names i cs1 n2
+0- 1
+-1 1
+.names cs1 cs2 o
+01 1
+10 1
+.end
+|}
+
+let test_blif_parse () =
+  let net = B.parse_string example_blif in
+  Alcotest.(check int) "inputs" 1 (N.num_inputs net);
+  Alcotest.(check int) "latches" 2 (N.num_latches net);
+  Alcotest.(check int) "outputs" 1 (N.num_outputs net)
+
+let test_blif_semantics () =
+  let net = B.parse_string example_blif in
+  let st = N.initial_state net in
+  (* from (0,0) under i=0: T1 = 0&cs2 = 0, T2 = !0 | cs1 = 1 -> state 01 *)
+  let out, st' = N.step net st [| false |] in
+  Alcotest.(check bool) "o = cs1 xor cs2 = 0" false out.(0);
+  Alcotest.(check (pair bool bool)) "next state 01" (false, true)
+    (st'.(0), st'.(1))
+
+let states_equal a b = Array.to_list a = Array.to_list b
+
+let behaviour_equivalent net1 net2 rounds =
+  (* run both nets on identical random input sequences *)
+  let ni = N.num_inputs net1 in
+  ni = N.num_inputs net2
+  && N.num_outputs net1 = N.num_outputs net2
+  &&
+  let ok = ref true in
+  let st1 = ref (N.initial_state net1) and st2 = ref (N.initial_state net2) in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to rounds do
+    let inputs = Array.init ni (fun _ -> Random.State.bool rng) in
+    let o1, s1 = N.step net1 !st1 inputs in
+    let o2, s2 = N.step net2 !st2 inputs in
+    if not (states_equal o1 o2) then ok := false;
+    st1 := s1;
+    st2 := s2
+  done;
+  !ok
+
+let test_blif_roundtrip () =
+  let net = B.parse_string example_blif in
+  let again = B.parse_string (B.to_string net) in
+  Alcotest.(check bool) "roundtrip behaviour" true
+    (behaviour_equivalent net again 200)
+
+let test_blif_roundtrip_generated () =
+  List.iter
+    (fun net ->
+      let again = B.parse_string (B.to_string net) in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" (B.parse_string (B.to_string net)).N.name)
+        true
+        (behaviour_equivalent net again 100))
+    [ Circuits.Generators.counter 4;
+      Circuits.Generators.traffic_light ();
+      Circuits.Generators.lfsr 5;
+      Circuits.Generators.arbiter 3 ]
+
+let test_blif_continuation_and_comments () =
+  let text =
+    ".model c  # trailing comment\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+  in
+  let net = B.parse_string text in
+  Alcotest.(check int) "two inputs via continuation" 2 (N.num_inputs net)
+
+let test_blif_errors () =
+  let bad = ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n" in
+  Alcotest.(check bool) "bad cover char rejected" true
+    (match B.parse_string bad with
+     | exception B.Parse_error _ -> true
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  let undefined = ".model m\n.inputs a\n.outputs y\n.end\n" in
+  Alcotest.(check bool) "undefined output rejected" true
+    (match B.parse_string undefined with
+     | exception B.Parse_error _ -> true
+     | _ -> false)
+
+(* --- Transform ------------------------------------------------------------- *)
+
+let test_simplify_expr () =
+  let module T = Network.Transform in
+  Alcotest.(check bool) "x & !x = 0" true
+    (T.simplify_expr (E.And (E.Var 0, E.Not (E.Var 0))) = E.Const false);
+  Alcotest.(check bool) "x | 1 = 1" true
+    (T.simplify_expr (E.Or (E.Var 0, E.Const true)) = E.Const true);
+  Alcotest.(check bool) "x ^ x = 0" true
+    (T.simplify_expr (E.Xor (E.Var 0, E.Var 0)) = E.Const false);
+  Alcotest.(check bool) "!!x = x" true
+    (T.simplify_expr (E.Not (E.Not (E.Var 3))) = E.Var 3);
+  Alcotest.(check bool) "ite(c,x,x) = x" true
+    (T.simplify_expr (E.Ite (E.Var 0, E.Var 1, E.Var 1)) = E.Var 1);
+  Alcotest.(check bool) "ite(c,1,0) = c" true
+    (T.simplify_expr (E.Ite (E.Var 0, E.Const true, E.Const false)) = E.Var 0)
+
+let test_optimize_preserves_behaviour () =
+  let nets =
+    [ Circuits.Generators.counter 4;
+      Circuits.Generators.traffic_light ();
+      Circuits.Generators.arbiter 3;
+      Circuits.Generators.vending ();
+      Circuits.Generators.fifo_ctrl 2;
+      Circuits.Generators.random_logic ~seed:8 ~inputs:4 ~outputs:3
+        ~latches:6 ~levels:4 () ]
+  in
+  List.iter
+    (fun net ->
+      let opt = Network.Transform.optimize net in
+      Alcotest.(check bool)
+        (net.N.name ^ ": behaviour preserved")
+        true
+        (behaviour_equivalent net opt 300);
+      Alcotest.(check bool)
+        (net.N.name ^ ": no growth")
+        true
+        (N.num_nodes opt <= N.num_nodes net))
+    nets
+
+let test_optimize_removes_redundancy () =
+  (* a circuit with a constant subtree, a duplicate node and dead logic *)
+  let b = N.create "junky" in
+  let a = N.add_input b "a" in
+  let const0 = N.add_node b ~name:"k0" (E.And (E.Var 0, E.Not (E.Var 0))) [| a |] in
+  let masked = N.add_node b ~name:"masked" (E.Or (E.Var 0, E.Var 1)) [| a; const0 |] in
+  let dup1 = N.add_node b ~name:"dup1" (E.Not (E.Var 0)) [| masked |] in
+  let dup2 = N.add_node b ~name:"dup2" (E.Not (E.Var 0)) [| masked |] in
+  let _dead = N.add_node b ~name:"dead" (E.Xor (E.Var 0, E.Var 1)) [| dup1; dup2 |] in
+  let out = N.add_node b ~name:"out" (E.And (E.Var 0, E.Var 1)) [| dup1; dup2 |] in
+  N.add_output b "y" out;
+  let net = N.freeze b in
+  let opt = Network.Transform.optimize net in
+  Alcotest.(check bool) "behaviour preserved" true
+    (behaviour_equivalent net opt 100);
+  (* masked|0 collapses to a, dup1 = dup2 = !a merge, out = !a & !a = !a,
+     dead logic dropped: a single node remains *)
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to %d nodes" (N.num_nodes opt))
+    true
+    (N.num_nodes opt <= 2)
+
+(* --- AIG ------------------------------------------------------------------- *)
+
+let aig_behaviour_equivalent net aig rounds =
+  let ni = N.num_inputs net in
+  let st_n = ref (N.initial_state net) in
+  let st_a = ref (Array.of_list (Array.to_list aig.Network.Aig.latch_init)) in
+  let rng = Random.State.make [| 31 |] in
+  let ok = ref true in
+  for _ = 1 to rounds do
+    let inputs = Array.init ni (fun _ -> Random.State.bool rng) in
+    let o_n, s_n = N.step net !st_n inputs in
+    let o_a, s_a = Network.Aig.eval aig inputs !st_a in
+    if o_n <> o_a then ok := false;
+    st_n := s_n;
+    st_a := s_a
+  done;
+  !ok
+
+let test_aig_roundtrip_families () =
+  List.iter
+    (fun net ->
+      let aig = Network.Aig.of_netlist net in
+      Alcotest.(check bool)
+        (net.N.name ^ ": aig simulates like the netlist")
+        true
+        (aig_behaviour_equivalent net aig 200);
+      let back = Network.Aig.to_netlist aig in
+      Alcotest.(check bool)
+        (net.N.name ^ ": netlist roundtrip (exact)")
+        true
+        (let renamed =
+           (* to_netlist names the model "aig"; equivalence is by interface *)
+           back
+         in
+         Img.Equiv.check net renamed = Img.Equiv.Equivalent))
+    [ Circuits.Generators.counter 4;
+      Circuits.Generators.traffic_light ();
+      Circuits.Generators.vending ();
+      Circuits.Generators.random_logic ~seed:12 ~inputs:3 ~outputs:2
+        ~latches:4 ~levels:3 () ]
+
+let test_aig_strashing () =
+  (* building x&y twice yields one gate *)
+  let b = Network.Aig.create ~inputs:[ "x"; "y" ] ~latches:[] in
+  let x = Network.Aig.input_lit b 0 and y = Network.Aig.input_lit b 1 in
+  let g1 = Network.Aig.mk_and b x y in
+  let g2 = Network.Aig.mk_and b y x in
+  Alcotest.(check int) "hash hit" g1 g2;
+  Alcotest.(check int) "x & x = x" x (Network.Aig.mk_and b x x);
+  Alcotest.(check int) "x & !x = 0" Network.Aig.lit_false
+    (Network.Aig.mk_and b x (Network.Aig.lit_not x));
+  Network.Aig.add_output b "o" g1;
+  let t = Network.Aig.freeze b in
+  Alcotest.(check int) "one gate" 1 (Network.Aig.num_ands t)
+
+let test_aag_roundtrip () =
+  let net = Circuits.Generators.lfsr 5 in
+  let aig = Network.Aig.of_netlist net in
+  let text = Network.Aig.to_aag aig in
+  let back = Network.Aig.of_aag text in
+  Alcotest.(check int) "inputs" aig.Network.Aig.num_inputs
+    back.Network.Aig.num_inputs;
+  Alcotest.(check int) "ands" (Network.Aig.num_ands aig)
+    (Network.Aig.num_ands back);
+  Alcotest.(check bool) "behaviour preserved" true
+    (aig_behaviour_equivalent net back 200);
+  (* symbol table preserved *)
+  Alcotest.(check string) "input name" "en" back.Network.Aig.input_names.(0)
+
+let test_aag_parse_errors () =
+  Alcotest.(check bool) "bad header" true
+    (match Network.Aig.of_aag "not an aag\n" with
+     | exception Network.Aig.Parse_error _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "truncated" true
+    (match Network.Aig.of_aag "aag 3 1 1 1 1\n2\n" with
+     | exception Network.Aig.Parse_error _ -> true
+     | _ -> false)
+
+(* --- VCD ------------------------------------------------------------------- *)
+
+let test_vcd_structure () =
+  let net = Circuits.Generators.counter 2 in
+  let trace = Network.Vcd.random_trace ~seed:4 net 10 in
+  let vcd = Network.Vcd.of_trace net trace in
+  let contains needle =
+    let n = String.length needle and h = String.length vcd in
+    let rec go i = i + n <= h && (String.sub vcd i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "timescale" true (contains "$timescale 1ns $end");
+  Alcotest.(check bool) "module scope" true (contains "$scope module counter2");
+  Alcotest.(check bool) "declares en" true (contains " en $end");
+  Alcotest.(check bool) "declares carry" true (contains " carry $end");
+  Alcotest.(check bool) "declares latch c0" true (contains " c0 $end");
+  Alcotest.(check bool) "has timestamps" true (contains "#0\n");
+  Alcotest.(check bool) "final timestamp" true (contains "#10\n")
+
+let test_vcd_change_only_encoding () =
+  (* constant-zero input: after the first cycle nothing changes except the
+     counter bits, so the dump stays small *)
+  let net = Circuits.Generators.counter 2 in
+  let quiet = List.init 20 (fun _ -> [| false |]) in
+  let busy = List.init 20 (fun _ -> [| true |]) in
+  Alcotest.(check bool) "quiet dump smaller" true
+    (String.length (Network.Vcd.of_trace net quiet)
+     < String.length (Network.Vcd.of_trace net busy))
+
+(* --- Symbolic ------------------------------------------------------------- *)
+
+let test_symbolic_matches_simulation () =
+  let nets =
+    [ toggle_net (); Circuits.Generators.counter 3;
+      Circuits.Generators.traffic_light (); Circuits.Generators.lfsr 4 ]
+  in
+  List.iter
+    (fun net ->
+      let man = Bdd.Manager.create () in
+      let sym = S.of_netlist man net in
+      let ni = N.num_inputs net in
+      let nl = N.num_latches net in
+      let rng = Random.State.make [| 7 |] in
+      for _ = 1 to 100 do
+        let inputs = Array.init ni (fun _ -> Random.State.bool rng) in
+        let state = Array.init nl (fun _ -> Random.State.bool rng) in
+        let env v =
+          (* the assignment seen by the BDDs *)
+          match List.find_index (fun w -> w = v) sym.S.input_vars with
+          | Some k -> inputs.(k)
+          | None -> (
+            match List.find_index (fun w -> w = v) sym.S.state_vars with
+            | Some k -> state.(k)
+            | None -> false)
+        in
+        let outs, next = N.step net state inputs in
+        List.iteri
+          (fun k fn ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s next_fn %d" net.N.name k)
+              next.(k)
+              (Bdd.Ops.eval man fn env))
+          sym.S.next_fns;
+        List.iteri
+          (fun k (_, fn) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s out_fn %d" net.N.name k)
+              outs.(k)
+              (Bdd.Ops.eval man fn env))
+          sym.S.output_fns
+      done)
+    nets
+
+let test_symbolic_init_cube () =
+  let man = Bdd.Manager.create () in
+  let sym = S.of_netlist man (Circuits.Generators.lfsr 4) in
+  (* lfsr latch 0 initializes to 1, the rest to 0 *)
+  let expected =
+    Bdd.Ops.cube_of_literals man
+      (List.mapi (fun k v -> (v, k = 0)) sym.S.state_vars)
+  in
+  Alcotest.(check int) "init cube" expected sym.S.init_cube
+
+let test_symbolic_interleave_order () =
+  let man = Bdd.Manager.create () in
+  let sym = S.of_netlist man ~interleave:true (Circuits.Generators.counter 2) in
+  List.iter2
+    (fun cs ns ->
+      Alcotest.(check int) "ns immediately after cs" (cs + 1) ns)
+    sym.S.state_vars sym.S.next_state_vars
+
+let () =
+  Alcotest.run "network"
+    [ ( "expr",
+        [ Alcotest.test_case "eval" `Quick test_expr_eval;
+          Alcotest.test_case "support" `Quick test_expr_support;
+          Alcotest.test_case "cover" `Quick test_expr_cover;
+          Alcotest.test_case "cover complement" `Quick test_expr_cover_complement;
+          Alcotest.test_case "cover empty" `Quick test_expr_cover_empty ] );
+      ( "netlist",
+        [ Alcotest.test_case "counts" `Quick test_netlist_counts;
+          Alcotest.test_case "step" `Quick test_netlist_step;
+          Alcotest.test_case "validation" `Quick test_netlist_cycle_detected;
+          Alcotest.test_case "reachable counter" `Quick test_reachable_counter;
+          Alcotest.test_case "reachable johnson" `Quick test_reachable_johnson ] );
+      ( "blif",
+        [ Alcotest.test_case "parse" `Quick test_blif_parse;
+          Alcotest.test_case "semantics" `Quick test_blif_semantics;
+          Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
+          Alcotest.test_case "roundtrip generated" `Quick
+            test_blif_roundtrip_generated;
+          Alcotest.test_case "continuations" `Quick
+            test_blif_continuation_and_comments;
+          Alcotest.test_case "errors" `Quick test_blif_errors ] );
+      ( "transform",
+        [ Alcotest.test_case "simplify expr" `Quick test_simplify_expr;
+          Alcotest.test_case "optimize preserves behaviour" `Quick
+            test_optimize_preserves_behaviour;
+          Alcotest.test_case "optimize removes redundancy" `Quick
+            test_optimize_removes_redundancy ] );
+      ( "aig",
+        [ Alcotest.test_case "roundtrip families" `Quick
+            test_aig_roundtrip_families;
+          Alcotest.test_case "strashing" `Quick test_aig_strashing;
+          Alcotest.test_case "aag roundtrip" `Quick test_aag_roundtrip;
+          Alcotest.test_case "aag errors" `Quick test_aag_parse_errors ] );
+      ( "vcd",
+        [ Alcotest.test_case "structure" `Quick test_vcd_structure;
+          Alcotest.test_case "change-only encoding" `Quick
+            test_vcd_change_only_encoding ] );
+      ( "symbolic",
+        [ Alcotest.test_case "matches simulation" `Quick
+            test_symbolic_matches_simulation;
+          Alcotest.test_case "init cube" `Quick test_symbolic_init_cube;
+          Alcotest.test_case "interleaved order" `Quick
+            test_symbolic_interleave_order ] ) ]
