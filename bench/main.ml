@@ -73,6 +73,22 @@ let table1 () =
       ()
   in
   Harness.Experiments.print_table1 Format.std_formatter results;
+  (* degradation-ladder activity: which runs needed retries or fallbacks *)
+  let fallbacks =
+    List.fold_left
+      (fun acc (r : Harness.Experiments.row_result) ->
+        acc
+        + Harness.Experiments.fallbacks_of r.part
+        + Harness.Experiments.fallbacks_of r.mono)
+      0 results
+  in
+  if fallbacks = 0 then
+    Printf.printf "\nno run needed the degradation ladder\n"
+  else begin
+    Printf.printf "\ndegradation-ladder activity (%d failed attempt(s)):\n"
+      fallbacks;
+    Harness.Experiments.print_attempts Format.std_formatter results
+  end;
   Printf.printf "\npaper analogs (original rows this suite stands in for):\n";
   List.iter
     (fun (r : Harness.Experiments.row_result) ->

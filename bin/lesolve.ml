@@ -12,6 +12,18 @@ module E = Equation
 
 open Cmdliner
 
+(* Command-layer error handling: user mistakes (malformed BLIF, an unknown
+   latch name, a bad generator spec or fault string) must exit with a
+   one-line message and a nonzero status, not an exception backtrace. *)
+let guard f =
+  try f () with
+  | Network.Blif.Parse_error (line, msg) ->
+    Format.eprintf "lesolve: BLIF parse error at line %d: %s@." line msg;
+    exit 1
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+    Format.eprintf "lesolve: %s@." msg;
+    exit 1
+
 let network_arg =
   let doc = "Input circuit in BLIF format." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"BLIF" ~doc)
@@ -46,12 +58,53 @@ let node_limit_arg =
   let doc = "BDD-node budget before giving up (CNC)." in
   Arg.(value & opt int 20_000_000 & info [ "node-limit" ] ~doc)
 
+let retries_arg =
+  let doc =
+    "Reorder-and-retry attempts after a node-limit failure, before falling \
+     back to a cheaper method."
+  in
+  Arg.(value & opt int 1 & info [ "retries" ] ~doc)
+
+let no_fallback_arg =
+  let doc =
+    "Disable the graceful-degradation ladder: fail with CNC instead of \
+     trying the alternative quantification schedule and the monolithic \
+     method."
+  in
+  Arg.(value & flag & info [ "no-fallback" ] ~doc)
+
 let load path = Network.Blif.parse_file path
+
+(* attempt history shared by the solve/resynth outcome reports *)
+let print_attempts attempts =
+  List.iter
+    (fun a ->
+      Format.printf "  attempt: %s@." (Harness.Experiments.describe_attempt a))
+    attempts
+
+let report_cnc cpu_seconds reason (progress : E.Solve.progress) =
+  Format.printf
+    "CNC after %.1fs: %s (reached %s phase; %d subset states, %d BDD nodes)@."
+    cpu_seconds reason
+    (E.Runtime.phase_name progress.E.Solve.phase_reached)
+    progress.E.Solve.subset_states_explored
+    progress.E.Solve.peak_nodes_seen;
+  print_attempts progress.E.Solve.attempts;
+  exit 2
+
+let report_recovery (r : E.Solve.report) =
+  match r.E.Solve.attempts with
+  | [] -> ()
+  | attempts ->
+    print_attempts attempts;
+    Format.printf "recovered via %s after %d failed attempt(s)@."
+      r.E.Solve.solved_by (List.length attempts)
 
 (* --- info ------------------------------------------------------------------ *)
 
 let info_cmd =
   let run path =
+    guard @@ fun () ->
     let net = load path in
     Format.printf "%a@." N.pp_stats net;
     Format.printf "latches:%s@."
@@ -65,6 +118,7 @@ let info_cmd =
 
 let reach_cmd =
   let run path =
+    guard @@ fun () ->
     let net = load path in
     let man = Bdd.Manager.create () in
     let sym = Network.Symbolic.of_netlist man net in
@@ -86,6 +140,7 @@ let split_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
   in
   let run path latches out =
+    guard @@ fun () ->
     let net = load path in
     let sp = E.Split.split net ~x_latches:latches in
     Format.printf "F: %a@." N.pp_stats sp.E.Split.f;
@@ -121,16 +176,18 @@ let solve_cmd =
     let doc = "Write the CSF in the .aut exchange format." in
     Arg.(value & opt (some string) None & info [ "aut" ] ~doc)
   in
-  let run path latches method_ time_limit node_limit verify dot minimize aut =
+  let run path latches method_ time_limit node_limit retries no_fallback
+      verify dot minimize aut =
+    guard @@ fun () ->
     let net = load path in
     match
-      E.Solve.solve_split ~node_limit ~time_limit ~method_ net
-        ~x_latches:latches
+      E.Solve.solve_split ~node_limit ~time_limit ~retries
+        ~fallback:(not no_fallback) ~method_ net ~x_latches:latches
     with
-    | E.Solve.Could_not_complete { cpu_seconds; reason } ->
-      Format.printf "CNC after %.1fs: %s@." cpu_seconds reason;
-      exit 2
+    | E.Solve.Could_not_complete { cpu_seconds; reason; progress } ->
+      report_cnc cpu_seconds reason progress
     | E.Solve.Completed r ->
+      report_recovery r;
       Format.printf "CSF: %d states (%d subset states), %.3fs, %d BDD nodes@."
         r.E.Solve.csf_states r.E.Solve.subset_states r.E.Solve.cpu_seconds
         r.E.Solve.peak_nodes;
@@ -165,7 +222,8 @@ let solve_cmd =
        ~doc:"Compute the complete sequential flexibility of a latch split")
     Term.(
       const run $ network_arg $ latches_arg $ method_arg $ time_limit_arg
-      $ node_limit_arg $ verify_arg $ dot_arg $ minimize_arg $ aut_arg)
+      $ node_limit_arg $ retries_arg $ no_fallback_arg $ verify_arg $ dot_arg
+      $ minimize_arg $ aut_arg)
 
 (* --- resynth ----------------------------------------------------------------- *)
 
@@ -188,15 +246,16 @@ let resynth_cmd =
     Arg.(value & opt heuristic_conv E.Extract.First & info [ "heuristic" ] ~doc)
   in
   let run path latches time_limit node_limit heuristic out kiss =
+    guard @@ fun () ->
     let net = load path in
     match
       E.Solve.solve_split ~node_limit ~time_limit
         ~method_:E.Solve.default_partitioned net ~x_latches:latches
     with
-    | E.Solve.Could_not_complete { cpu_seconds; reason } ->
-      Format.printf "CNC after %.1fs: %s@." cpu_seconds reason;
-      exit 2
+    | E.Solve.Could_not_complete { cpu_seconds; reason; progress } ->
+      report_cnc cpu_seconds reason progress
     | E.Solve.Completed r ->
+      report_recovery r;
       Format.printf "CSF: %d states@." r.E.Solve.csf_states;
       (match
          E.Extract.resynthesize ~heuristic r.E.Solve.problem r.E.Solve.csf
@@ -269,6 +328,7 @@ let gen_cmd =
     | _ -> failwith ("unknown circuit spec: " ^ spec)
   in
   let run spec out =
+    guard @@ fun () ->
     let net = build spec in
     let text = Network.Blif.to_string net in
     match out with
@@ -290,6 +350,7 @@ let equiv_cmd =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"BLIF2" ~doc)
   in
   let run path1 path2 =
+    guard @@ fun () ->
     let a = load path1 and b = load path2 in
     match Img.Equiv.check a b with
     | Img.Equiv.Equivalent ->
@@ -324,6 +385,7 @@ let optimize_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
   in
   let run path out =
+    guard @@ fun () ->
     let net = load path in
     let opt = Network.Transform.optimize net in
     Format.eprintf "%s@." (Network.Transform.stats_delta net opt);
@@ -358,6 +420,7 @@ let aig_cmd =
     else load path
   in
   let run path out =
+    guard @@ fun () ->
     let net = load_any path in
     let aig = Network.Aig.of_netlist net in
     Format.eprintf "%a; %d AND gates@." N.pp_stats net
@@ -392,6 +455,7 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~doc)
   in
   let run path cycles seed vcd =
+    guard @@ fun () ->
     let net = load path in
     let trace = Network.Vcd.random_trace ~seed net cycles in
     (* print a compact textual table *)
@@ -438,13 +502,16 @@ let table1_cmd =
     let doc = "Also verify each completed partitioned result." in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run time_limit node_limit verify =
+  let run time_limit node_limit retries no_fallback verify =
+    guard @@ fun () ->
     let results =
-      Harness.Experiments.run_table1 ~time_limit ~node_limit
+      Harness.Experiments.run_table1 ~time_limit ~node_limit ~retries
+        ~fallback:(not no_fallback)
         ~progress:(fun name -> Format.eprintf "running %s...@." name)
         ()
     in
     Harness.Experiments.print_table1 Format.std_formatter results;
+    Harness.Experiments.print_attempts Format.std_formatter results;
     if verify then
       List.iter
         (fun r ->
@@ -457,7 +524,9 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 on the analog suite")
-    Term.(const run $ time_arg $ nodes_arg $ verify_arg)
+    Term.(
+      const run $ time_arg $ nodes_arg $ retries_arg $ no_fallback_arg
+      $ verify_arg)
 
 let () =
   let doc = "language-equation solving with partitioned representations" in

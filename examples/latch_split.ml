@@ -50,7 +50,7 @@ let () =
         label r.E.Solve.csf_states r.E.Solve.subset_states
         r.E.Solve.cpu_seconds r.E.Solve.peak_nodes;
       Some r
-    | E.Solve.Could_not_complete { cpu_seconds; reason } ->
+    | E.Solve.Could_not_complete { cpu_seconds; reason; _ } ->
       Format.printf "%s: could not complete (%s) after %.1fs@." label reason
         cpu_seconds;
       None

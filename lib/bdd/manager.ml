@@ -23,6 +23,10 @@ type t = {
   mutable n_vars : int;
   mutable names : string array;
   mutable node_limit : int option;
+  (* called on every fresh node allocation, before the node is committed;
+     raising from the hook leaves the manager unchanged. Used for
+     deterministic fault injection (Equation.Runtime). *)
+  mutable alloc_hook : (unit -> unit) option;
   support_memo : (int, int list) Hashtbl.t;
 }
 
@@ -59,6 +63,7 @@ let create ?(initial_capacity = 1024) () =
       n_vars = 0;
       names = [||];
       node_limit = None;
+      alloc_hook = None;
       support_memo = Hashtbl.create 256;
     }
   in
@@ -116,6 +121,7 @@ let rehash_unique m =
 
 let num_nodes m = m.n_nodes
 let set_node_limit m lim = m.node_limit <- lim
+let set_alloc_hook m hook = m.alloc_hook <- hook
 
 let mk m v lo hi =
   if lo = hi then lo
@@ -139,6 +145,7 @@ let mk m v lo hi =
       (match m.node_limit with
        | Some lim when m.n_nodes >= lim -> raise Node_limit_exceeded
        | Some _ | None -> ());
+      (match m.alloc_hook with Some f -> f () | None -> ());
       if m.n_nodes >= Array.length m.var_of then grow_nodes m;
       let id = m.n_nodes in
       m.n_nodes <- id + 1;

@@ -67,6 +67,14 @@ val num_nodes : t -> int
 val set_node_limit : t -> int option -> unit
 (** Set or clear the node-creation limit ([Node_limit_exceeded]). *)
 
+val set_alloc_hook : t -> (unit -> unit) option -> unit
+(** Install (or clear) a callback invoked on every {e fresh} node
+    allocation, after the node-limit check and before the node is
+    committed, so raising from the hook leaves the manager unchanged.
+    Used for deterministic fault injection: a hook that raises
+    {!Node_limit_exceeded} at its Nth invocation makes a blow-up
+    reproducible at an exact allocation. *)
+
 val cache_find : t -> int -> int -> int -> int -> int option
 (** [cache_find m op a b c] looks up the computed cache. The [op] tag
     namespaces operations; [a b c] are operand node ids (use 0 for unused

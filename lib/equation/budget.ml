@@ -1,5 +1,6 @@
-(* Resource budget for converting blow-ups into "could not complete" (CNC)
-   outcomes, as in the paper's Table 1. *)
+(* The deadline-exhaustion exception shared by the solver's resource
+   machinery. The checks themselves live in [Runtime.tick]; the low-level
+   [check] remains for callers that manage a bare deadline. *)
 
 exception Exceeded
 

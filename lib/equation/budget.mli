@@ -1,8 +1,13 @@
-(** CPU-time budget used to convert blow-ups into "could not complete"
-    (CNC) outcomes, as in the paper's Table 1. *)
+(** CPU-time budget exhaustion, used to convert blow-ups into "could not
+    complete" (CNC) outcomes as in the paper's Table 1.
+
+    The solver's deadline checks are performed by {!Runtime.tick}, which
+    raises {!Exceeded}; this module only owns the exception (and a bare
+    low-level check for callers managing their own deadline). *)
 
 exception Exceeded
 
 val check : float option -> unit
 (** [check (Some deadline)] raises {!Exceeded} once [Sys.time ()] passes
-    [deadline]; [check None] never raises. *)
+    [deadline]; [check None] never raises. Prefer a {!Runtime.t} and
+    {!Runtime.tick} inside the solver. *)

@@ -1,5 +1,9 @@
-let csf (p : Problem.t) x =
+let csf ?runtime (p : Problem.t) x =
+  Option.iter (fun rt -> Runtime.enter_phase rt Runtime.Csf) runtime;
+  let tick = Runtime.ticker runtime in
+  tick ();
   let closed = Fsa.Ops.prefix_close x in
-  Fsa.Ops.progressive closed ~inputs:(Problem.x_input_vars p)
+  tick ();
+  Fsa.Ops.progressive ~on_pass:tick closed ~inputs:(Problem.x_input_vars p)
 
 let num_states = Fsa.Automaton.num_states

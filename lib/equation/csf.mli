@@ -2,10 +2,13 @@
     Flexibility: the largest prefix-closed, input-progressive sub-automaton
     (paper §2). *)
 
-val csf : Problem.t -> Fsa.Automaton.t -> Fsa.Automaton.t
+val csf : ?runtime:Runtime.t -> Problem.t -> Fsa.Automaton.t -> Fsa.Automaton.t
 (** [csf p x] applies PrefixClose (delete non-accepting states) and
     Progressive (iterated deletion of states that are not input-progressive
-    with respect to the [u] variables), then trims. *)
+    with respect to the [u] variables), then trims. With [runtime], the
+    extraction runs in the [Csf] phase and honours the time/node budget
+    (one tick per progressive sweep), so it can no longer run unbounded
+    after the deadline has expired. *)
 
 val num_states : Fsa.Automaton.t -> int
 (** The "States(X)" column of Table 1. *)

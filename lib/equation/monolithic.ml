@@ -12,9 +12,12 @@ let relation_of_functions man pairs =
   O.conj man
     (List.map (fun (v, fn) -> O.bxnor man (O.var_bdd man v) fn) pairs)
 
-let solve ?deadline (p : Problem.t) =
+let solve ?runtime (p : Problem.t) =
+  let enter ph = Option.iter (fun rt -> Runtime.enter_phase rt ph) runtime in
+  let tick = Runtime.ticker runtime in
   let man = p.Problem.man in
   let f = p.Problem.f_sym and s = p.Problem.s_sym in
+  enter Runtime.Build;
   (* monolithic transition-output relations *)
   let to_f =
     relation_of_functions man
@@ -22,13 +25,13 @@ let solve ?deadline (p : Problem.t) =
       @ List.combine p.Problem.u_vars p.Problem.f_out_u
       @ List.combine p.Problem.o_vars p.Problem.f_out_o)
   in
-  Budget.check deadline;
+  tick ();
   let to_s =
     relation_of_functions man
       (List.combine s.S.next_state_vars s.S.next_fns
       @ List.combine p.Problem.o_vars p.Problem.s_out_o)
   in
-  Budget.check deadline;
+  tick ();
   (* completion of S with the explicit DC state bit (paper §2): undefined
      input/output combinations transition to the unique non-accepting state
      [d = 1], which self-loops. The DC state's next-state code is fixed to
@@ -47,17 +50,17 @@ let solve ?deadline (p : Problem.t) =
         O.conj man [ nd; undefined; d'; zero_ns2 ];
         O.conj man [ d; d'; zero_ns2 ] ]
   in
-  Budget.check deadline;
+  tick ();
   (* complement(S) flips acceptance to the DC bit; form the product with the
      (incomplete, all-accepting) F and hide the external variables. This
      monolithic quantification is the expensive step the paper avoids. *)
   let product = O.band man to_f to_s_complete in
-  Budget.check deadline;
+  tick ();
   let io_cube =
     O.cube_of_vars man (Problem.hidden_inputs p @ p.Problem.o_vars)
   in
   let hidden = O.exists man io_cube product in
-  Budget.check deadline;
+  tick ();
   let alphabet = Problem.alphabet p in
   let cs_vars = Problem.state_vars p @ [ p.Problem.dc_var ] in
   let ns_vars = Problem.next_state_vars p @ [ p.Problem.dc_next_var ] in
@@ -88,17 +91,20 @@ let solve ?deadline (p : Problem.t) =
   let edges_acc = ref [] in
   let dca = -2 in
   let used_dca = ref false in
+  enter Runtime.Subset;
   while not (Queue.is_empty queue) do
-    Budget.check deadline;
+    tick ();
+    Option.iter (fun rt -> Runtime.note_subset_states rt !count) runtime;
     let zeta = Queue.pop queue in
     let k = Hashtbl.find index zeta in
+    Option.iter Runtime.tick_image runtime;
     let p_rel = O.and_exists man cs_cube hidden zeta in
     let domain = O.exists man ns_cube p_rel in
     List.iter
       (fun (guard, succ_ns) ->
         let zeta' = O.rename man succ_ns rename_pairs in
         edges_acc := (k, guard, intern zeta') :: !edges_acc)
-      (Subset.split_successors man ~p:p_rel ~alphabet ~ns_cube);
+      (Subset.split_successors ?runtime man ~p:p_rel ~alphabet ~ns_cube);
     let to_dca = O.bnot man domain in
     if to_dca <> M.zero then begin
       used_dca := true;

@@ -10,7 +10,10 @@
     completion and complementation as separate passes.
 
     Blow-ups surface as {!Budget.Exceeded} (CPU deadline) or
-    {!Bdd.Manager.Node_limit_exceeded} (node budget) — the "CNC" entries. *)
+    {!Bdd.Manager.Node_limit_exceeded} (node budget) — the "CNC" entries.
+    With [runtime], the relation building runs in the [Build] phase and the
+    subset construction in the [Subset] phase, with partial progress
+    recorded on the runtime. *)
 
 type stats = {
   subset_states : int;
@@ -18,4 +21,4 @@ type stats = {
   peak_nodes : int;
 }
 
-val solve : ?deadline:float -> Problem.t -> Fsa.Automaton.t * stats
+val solve : ?runtime:Runtime.t -> Problem.t -> Fsa.Automaton.t * stats

@@ -9,11 +9,14 @@ type stats = {
 
 type q_mode = Per_output | Combined
 
-let solve ?deadline ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
+let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
     ?(q_mode = Combined) ?(cluster_threshold = 1) ?on_state (p : Problem.t) =
   let notify k = match on_state with Some f -> f k | None -> () in
+  let enter ph = Option.iter (fun rt -> Runtime.enter_phase rt ph) runtime in
+  let tick = Runtime.ticker runtime in
   let man = p.Problem.man in
   let images = ref 0 in
+  enter Runtime.Build;
   let quantified = Problem.hidden_inputs p @ Problem.state_vars p in
   let alphabet = Problem.alphabet p in
   let ns_cube = O.cube_of_vars man (Problem.next_state_vars p) in
@@ -28,6 +31,7 @@ let solve ?deadline ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
   let non_conformance = List.map (O.bnot man) (Problem.conformance_parts p) in
   let conjoin_exists rels =
     incr images;
+    Option.iter Runtime.tick_image runtime;
     match strategy with
     | Img.Image.Monolithic ->
       Img.Quantify.monolithic_and_exists man rels ~quantify:quantified
@@ -76,8 +80,10 @@ let solve ?deadline ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
      states is known; use negative placeholders meanwhile *)
   let dcn = -1 and dca = -2 in
   let used_dcn = ref false and used_dca = ref false in
+  enter Runtime.Subset;
   while not (Queue.is_empty queue) do
-    Budget.check deadline;
+    tick ();
+    Option.iter (fun rt -> Runtime.note_subset_states rt !count) runtime;
     let zeta = Queue.pop queue in
     let k = Hashtbl.find index zeta in
     notify k;
@@ -88,7 +94,7 @@ let solve ?deadline ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
       (fun (guard, succ_ns) ->
         let zeta' = O.rename man succ_ns (Problem.ns_to_cs p) in
         edges_acc := (k, guard, intern zeta') :: !edges_acc)
-      (Subset.split_successors man ~p:p_rel ~alphabet ~ns_cube);
+      (Subset.split_successors ?runtime man ~p:p_rel ~alphabet ~ns_cube);
     if q <> M.zero then begin
       used_dcn := true;
       edges_acc := (k, q, dcn) :: !edges_acc

@@ -33,15 +33,18 @@ type q_mode =
           single image per subset state (default; same result) *)
 
 val solve :
-  ?deadline:float ->
+  ?runtime:Runtime.t ->
   ?strategy:Img.Image.strategy ->
   ?q_mode:q_mode ->
   ?cluster_threshold:int ->
   ?on_state:(int -> unit) ->
   Problem.t ->
   Fsa.Automaton.t * stats
-(** [deadline] is an absolute [Sys.time] value; {!Budget.Exceeded} is raised
-    when the subset construction runs past it. [cluster_threshold] conjoins
-    adjacent relation parts up to that BDD size before the subset
-    construction (1 = fully partitioned). [on_state] is a progress callback
-    invoked with each subset state index as it is expanded. *)
+(** With [runtime], the solver ticks the runtime through the [Build]
+    (relation clustering) and [Subset] phases: {!Budget.Exceeded} is raised
+    past the deadline and {!Bdd.Manager.Node_limit_exceeded} past the node
+    budget (or at an injected fault), with partial progress recorded on the
+    runtime. [cluster_threshold] conjoins adjacent relation parts up to that
+    BDD size before the subset construction (1 = fully partitioned).
+    [on_state] is a progress callback invoked with each subset state index
+    as it is expanded. *)

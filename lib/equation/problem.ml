@@ -173,3 +173,69 @@ let hidden_inputs t =
   List.filter (fun v -> not (List.mem v t.observed_i)) t.i_vars
 
 let x_input_vars t = List.sort compare (t.u_vars @ t.observed_i)
+
+(* Rebuild the instance in a fresh manager whose variable order is the
+   FORCE heuristic's placement over the relation-part supports (the
+   rebuild-based analog of dynamic reordering — see Bdd.Reorder). Used by
+   the fallback ladder after a node-limit blow-up: the old manager keeps
+   only the compact final parts' worth of nodes alive in the copy, and the
+   retry starts from a fresh allocation budget. The caller must lift the
+   old manager's node limit and allocation hook first (Runtime.detach):
+   forming the relation parts below may allocate a few nodes in it. *)
+let reorder (p : t) =
+  let man = p.man in
+  let parts = transition_parts p @ u_relation_parts p @ conformance_parts p in
+  let hyperedges =
+    List.filter (fun s -> s <> []) (List.map (O.support man) parts)
+  in
+  let sym_roots (sym : S.t) =
+    sym.S.next_fns @ List.map snd sym.S.output_fns @ [ sym.S.init_cube ]
+  in
+  let roots = sym_roots p.f_sym @ sym_roots p.s_sym in
+  let dst, roots', var_map = Bdd.Reorder.reorder man ~hyperedges roots in
+  let rest = ref roots' in
+  let take n =
+    let rec go k acc =
+      if k = 0 then List.rev acc
+      else
+        match !rest with
+        | [] -> assert false
+        | x :: tl ->
+          rest := tl;
+          go (k - 1) (x :: acc)
+    in
+    go n []
+  in
+  let rebuild (sym : S.t) =
+    let next_fns = take (List.length sym.S.next_fns) in
+    let out_fns = take (List.length sym.S.output_fns) in
+    let init_cube = List.hd (take 1) in
+    { sym with
+      S.man = dst;
+      S.input_vars = List.map var_map sym.S.input_vars;
+      S.state_vars = List.map var_map sym.S.state_vars;
+      S.next_state_vars = List.map var_map sym.S.next_state_vars;
+      S.next_fns;
+      S.output_fns =
+        List.map2 (fun (name, _) fn -> (name, fn)) sym.S.output_fns out_fns;
+      S.init_cube }
+  in
+  let f_sym = rebuild p.f_sym in
+  let s_sym = rebuild p.s_sym in
+  assert (!rest = []);
+  let vmap = List.map var_map in
+  { man = dst;
+    i_vars = vmap p.i_vars;
+    v_vars = vmap p.v_vars;
+    u_vars = vmap p.u_vars;
+    o_vars = vmap p.o_vars;
+    dc_var = var_map p.dc_var;
+    dc_next_var = var_map p.dc_next_var;
+    f_sym;
+    s_sym;
+    f_out_o = List.map (fun (n, _) -> S.output_fn f_sym n) s_sym.S.output_fns;
+    f_out_u = List.map (fun n -> S.output_fn f_sym n) p.u_names;
+    s_out_o = List.map snd s_sym.S.output_fns;
+    u_names = p.u_names;
+    v_names = p.v_names;
+    observed_i = vmap p.observed_i }

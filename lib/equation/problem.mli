@@ -86,3 +86,13 @@ val x_input_vars : t -> int list
 (** The unknown component's inputs: [u ∪ observed_i] (its outputs are
     [v]). This is the input set for the progressive computation and for
     extracted machines. *)
+
+val reorder : t -> t
+(** Rebuild the instance in a {e fresh} manager whose variable order comes
+    from the FORCE heuristic applied to the relation-part supports (the
+    rebuild-based analog of dynamic reordering). Only the final partition
+    BDDs are migrated, so the new manager starts from a compact node count
+    and a fresh allocation budget — the fallback ladder's first rung after
+    a node-limit blow-up. The old manager's node limit and allocation hook
+    must be lifted before calling (see {!Runtime.detach}): forming the
+    relation parts can allocate a few nodes in the old manager. *)

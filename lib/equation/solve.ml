@@ -1,9 +1,44 @@
+module M = Bdd.Manager
+
 type method_ = Partitioned of Img.Image.strategy | Monolithic
 
 let default_partitioned = Partitioned (Img.Image.Partitioned Img.Quantify.Greedy)
 
+let method_label = function
+  | Partitioned Img.Image.Monolithic -> "partitioned/mono-image"
+  | Partitioned (Img.Image.Partitioned Img.Quantify.Given) ->
+    "partitioned/given"
+  | Partitioned (Img.Image.Partitioned Img.Quantify.Greedy) ->
+    "partitioned/greedy"
+  | Monolithic -> "monolithic"
+
+(* rung 2 of the ladder: the other early-quantification schedule *)
+let alternative_strategy = function
+  | Img.Image.Partitioned Img.Quantify.Greedy ->
+    Img.Image.Partitioned Img.Quantify.Given
+  | Img.Image.Partitioned Img.Quantify.Given
+  | Img.Image.Monolithic ->
+    Img.Image.Partitioned Img.Quantify.Greedy
+
+type attempt = {
+  label : string;
+  phase : Runtime.phase;
+  subset_states : int;
+  peak_nodes : int;
+  cpu_seconds : float;
+  failure : string;
+}
+
+type progress = {
+  phase_reached : Runtime.phase;
+  subset_states_explored : int;
+  peak_nodes_seen : int;
+  attempts : attempt list;
+}
+
 type report = {
   method_ : method_;
+  solved_by : string;
   problem : Problem.t;
   split : Split.t;
   solution : Fsa.Automaton.t;
@@ -12,40 +47,148 @@ type report = {
   subset_states : int;
   cpu_seconds : float;
   peak_nodes : int;
+  attempts : attempt list;
 }
 
 type outcome =
   | Completed of report
-  | Could_not_complete of { cpu_seconds : float; reason : string }
+  | Could_not_complete of {
+      cpu_seconds : float;
+      reason : string;
+      progress : progress;
+    }
 
-let solve_split ?node_limit ?time_limit ~method_ net ~x_latches =
-  let sp, p = Split.problem net ~x_latches in
-  Bdd.Manager.set_node_limit p.Problem.man node_limit;
+(* One step of the degradation ladder. [Fresh] rebuilds the problem from
+   scratch in a new manager; [Reorder_retry] migrates the previous
+   (failed) attempt's problem into a FORCE-reordered fresh manager. *)
+type step = Fresh of method_ | Reorder_retry of Img.Image.strategy
+
+let step_label = function
+  | Fresh m -> method_label m
+  | Reorder_retry _ -> "reorder-retry"
+
+let ladder ~method_ ~retries ~fallback =
+  match method_ with
+  | Monolithic -> [ Fresh Monolithic ]
+  | Partitioned strategy ->
+    (Fresh (Partitioned strategy)
+     :: List.init (max 0 retries) (fun _ -> Reorder_retry strategy))
+    @
+    if fallback then
+      [ Fresh (Partitioned (alternative_strategy strategy));
+        Fresh Monolithic ]
+    else []
+
+let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
+    ?fault ~method_ net ~x_latches =
   let start = Sys.time () in
   let deadline = Option.map (fun limit -> start +. limit) time_limit in
-  match
-    (match method_ with
-     | Partitioned strategy ->
-       let solution, stats = Partitioned.solve ?deadline ~strategy p in
-       (solution, stats.Partitioned.subset_states, stats.Partitioned.peak_nodes)
-     | Monolithic ->
-       let solution, stats = Monolithic.solve ?deadline p in
-       (solution, stats.Monolithic.subset_states, stats.Monolithic.peak_nodes))
-  with
-  | solution, subset_states, peak_nodes ->
-    let csf = Csf.csf p solution in
-    let cpu_seconds = Sys.time () -. start in
+  let fault =
+    match fault with Some _ as f -> f | None -> Runtime.Fault.from_env ()
+  in
+  let rt = Runtime.create ?deadline ?node_limit ?fault () in
+  let attempts = ref [] in
+  (* the manager of the attempt currently running, for post-mortem stats *)
+  let current_man = ref None in
+  let last = ref None in
+  (* one attempt = problem setup + solve + CSF extraction *)
+  let solve_with p = function
+    | Partitioned strategy ->
+      let solution, stats = Partitioned.solve ~runtime:rt ~strategy p in
+      (solution, stats.Partitioned.subset_states)
+    | Monolithic ->
+      let solution, stats = Monolithic.solve ~runtime:rt p in
+      (solution, stats.Monolithic.subset_states)
+  in
+  let finish (sp, p) method_ =
+    let solution, subset_states = solve_with p method_ in
+    let csf = Csf.csf ~runtime:rt p solution in
+    (sp, p, solution, csf, subset_states)
+  in
+  let rec run_step = function
+    | Fresh m ->
+      let man = M.create () in
+      current_man := Some man;
+      Runtime.attach rt man;
+      Runtime.enter_phase rt Runtime.Build;
+      let sp, p = Split.problem ~man net ~x_latches in
+      last := Some (sp, p);
+      finish (sp, p) m
+    | Reorder_retry strategy when !last = None ->
+      (* the failed attempt died while still constructing the problem:
+         there is nothing to migrate, so retry from scratch *)
+      run_step (Fresh (Partitioned strategy))
+    | Reorder_retry strategy ->
+      let sp, prev = Option.get !last in
+      (* rung 1: drop the stale operation caches, migrate to a reordered
+         fresh manager, and retry the partitioned strategy with the
+         remaining budget *)
+      Runtime.detach rt prev.Problem.man;
+      M.clear_caches prev.Problem.man;
+      let p = Problem.reorder prev in
+      last := Some (sp, p);
+      current_man := Some p.Problem.man;
+      Runtime.attach rt p.Problem.man;
+      Runtime.enter_phase rt Runtime.Build;
+      finish (sp, p) (Partitioned strategy)
+  in
+  let record label t0 failure =
+    attempts :=
+      { label;
+        phase = Runtime.phase rt;
+        subset_states = Runtime.subset_states rt;
+        peak_nodes =
+          (match !current_man with Some m -> M.num_nodes m | None -> 0);
+        cpu_seconds = Sys.time () -. t0;
+        failure }
+      :: !attempts
+  in
+  let cnc reason =
+    let history = List.rev !attempts in
+    let phase_reached, subset_states_explored, peak_nodes_seen =
+      match !attempts with
+      | a :: _ -> (a.phase, a.subset_states, a.peak_nodes)
+      | [] -> (Runtime.phase rt, 0, 0)
+    in
+    Could_not_complete
+      { cpu_seconds = Sys.time () -. start;
+        reason;
+        progress =
+          { phase_reached; subset_states_explored; peak_nodes_seen;
+            attempts = history } }
+  in
+  let complete label (sp, p, solution, csf, subset_states) =
     Completed
-      { method_; problem = p; split = sp; solution; csf;
-        csf_states = Csf.num_states csf; subset_states; cpu_seconds;
-        peak_nodes }
-  | exception Bdd.Manager.Node_limit_exceeded ->
-    Could_not_complete
-      { cpu_seconds = Sys.time () -. start; reason = "node limit exceeded" }
-  | exception Budget.Exceeded ->
-    Could_not_complete
-      { cpu_seconds = Sys.time () -. start; reason = "time limit exceeded" }
+      { method_;
+        solved_by = label;
+        problem = p;
+        split = sp;
+        solution;
+        csf;
+        csf_states = Csf.num_states csf;
+        subset_states;
+        cpu_seconds = Sys.time () -. start;
+        peak_nodes = M.num_nodes p.Problem.man;
+        attempts = List.rev !attempts }
+  in
+  let rec descend = function
+    | [] -> cnc "node limit exceeded"
+    | step :: rest -> (
+      let label = step_label step in
+      let t0 = Sys.time () in
+      match run_step step with
+      | result -> complete label result
+      | exception M.Node_limit_exceeded ->
+        record label t0 "node limit exceeded";
+        descend rest
+      | exception Budget.Exceeded ->
+        (* the deadline is global: once it has passed, a lower rung cannot
+           help, so stop the ladder immediately *)
+        record label t0 "time limit exceeded";
+        cnc "time limit exceeded")
+  in
+  descend (ladder ~method_ ~retries ~fallback)
 
-let verify r =
-  ( Verify.particular_contained r.problem r.split r.csf,
-    Verify.composition_equals_spec r.problem r.split )
+let verify ?runtime r =
+  ( Verify.particular_contained ?runtime r.problem r.split r.csf,
+    Verify.composition_equals_spec ?runtime r.problem r.split )

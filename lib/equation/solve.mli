@@ -1,7 +1,20 @@
 (** Top-level driver: split a circuit, build the equation instance, compute
     the most general prefix-closed solution with the chosen method, extract
-    the CSF, and optionally verify it — with a resource budget that converts
-    blow-ups into CNC outcomes (Table 1's "CNC"). *)
+    the CSF, and optionally verify it — all under a {!Runtime.t} resource
+    budget that converts blow-ups into structured CNC outcomes (Table 1's
+    "CNC") and recovers from node-limit blow-ups with a graceful-degradation
+    ladder:
+
+    + clear the operation caches, migrate the instance to a FORCE-reordered
+      fresh manager ({!Problem.reorder}) and retry the partitioned strategy
+      (up to [retries] times, default 1);
+    + fall back to the alternative early-quantification schedule;
+    + fall back to the [Monolithic] method;
+    + report {!Could_not_complete} with the full attempt history.
+
+    Deadline exhaustion stops the ladder immediately — with no time left, a
+    cheaper method cannot help. A [Monolithic] request is already the bottom
+    rung and is attempted once. *)
 
 type method_ =
   | Partitioned of Img.Image.strategy
@@ -13,31 +26,71 @@ val default_partitioned : method_
 (** [Partitioned (Partitioned Greedy)] — the configuration the paper
     advocates. *)
 
+val method_label : method_ -> string
+(** Short human-readable label, e.g. ["partitioned/greedy"]. *)
+
+(** One failed solve attempt, oldest first in the histories below. *)
+type attempt = {
+  label : string;  (** which rung: {!method_label} or ["reorder-retry"] *)
+  phase : Runtime.phase;  (** phase reached when the attempt failed *)
+  subset_states : int;  (** subset states explored before the failure *)
+  peak_nodes : int;  (** the attempt's manager node count at failure *)
+  cpu_seconds : float;  (** CPU time spent in this attempt *)
+  failure : string;  (** ["node limit exceeded"] or ["time limit exceeded"] *)
+}
+
+(** Structured partial progress carried by a CNC outcome (the top-level
+    fields summarize the final attempt). *)
+type progress = {
+  phase_reached : Runtime.phase;
+  subset_states_explored : int;
+  peak_nodes_seen : int;
+  attempts : attempt list;
+}
+
 type report = {
-  method_ : method_;
+  method_ : method_;  (** the method that was requested *)
+  solved_by : string;
+      (** label of the attempt that succeeded (equals
+          [method_label method_] when no fallback was needed) *)
   problem : Problem.t;
   split : Split.t;
   solution : Fsa.Automaton.t;  (** most general prefix-closed solution *)
   csf : Fsa.Automaton.t;
   csf_states : int;
   subset_states : int;
-  cpu_seconds : float;
+  cpu_seconds : float;  (** total, including failed attempts *)
   peak_nodes : int;
+  attempts : attempt list;  (** failed attempts preceding the success *)
 }
 
 type outcome =
   | Completed of report
-  | Could_not_complete of { cpu_seconds : float; reason : string }
+  | Could_not_complete of {
+      cpu_seconds : float;
+      reason : string;
+      progress : progress;
+    }
 
 val solve_split :
   ?node_limit:int ->
   ?time_limit:float ->
+  ?retries:int ->
+  ?fallback:bool ->
+  ?fault:Runtime.Fault.t ->
   method_:method_ ->
   Network.Netlist.t ->
   x_latches:string list ->
   outcome
-(** A fresh BDD manager per call, so methods can be timed independently.
-    [time_limit] is CPU seconds for the whole computation. *)
+(** A fresh BDD manager per attempt, so methods can be timed independently.
+    [time_limit] is CPU seconds for the whole computation, across all
+    attempts. [retries] (default 1) bounds the reorder-and-retry rung;
+    [fallback:false] disables the method-degradation rungs (alternative
+    schedule, monolithic). [fault] injects a deterministic fault for
+    testing; when omitted, the [LESOLVE_FAULT] environment variable is
+    consulted ({!Runtime.Fault.from_env}). *)
 
-val verify : report -> bool * bool
-(** [(particular_contained, composition_equals_spec)] for a completed run. *)
+val verify : ?runtime:Runtime.t -> report -> bool * bool
+(** [(particular_contained, composition_equals_spec)] for a completed run.
+    With [runtime], verification runs in the [Verify] phase under the
+    runtime's budget instead of unbounded. *)

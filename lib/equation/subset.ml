@@ -1,10 +1,12 @@
 module M = Bdd.Manager
 module O = Bdd.Ops
 
-let split_successors man ~p ~alphabet ~ns_cube =
+let split_successors ?runtime man ~p ~alphabet ~ns_cube =
+  let tick = Runtime.ticker runtime in
   let rec go domain acc =
     if domain = M.zero then acc
     else begin
+      tick ();
       let symbol =
         match O.pick_minterm man domain alphabet with
         | Some lits -> O.cube_of_literals man lits

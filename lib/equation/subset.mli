@@ -4,6 +4,7 @@
     under which each is reached. *)
 
 val split_successors :
+  ?runtime:Runtime.t ->
   Bdd.Manager.t ->
   p:int ->
   alphabet:int list ->
@@ -12,4 +13,6 @@ val split_successors :
 (** [(guard(a), successor(ns))] pairs with pairwise-disjoint non-zero guards
     whose union is [∃ns. P]. Each successor is the cofactor of [P] at any
     symbol of its guard; by construction all symbols of a guard share that
-    cofactor. *)
+    cofactor. With [runtime], {!Runtime.tick} runs once per enumerated
+    successor class, so a state with very many classes still honours the
+    budget. *)

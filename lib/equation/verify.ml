@@ -2,7 +2,12 @@ module M = Bdd.Manager
 module O = Bdd.Ops
 module A = Fsa.Automaton
 
-let particular_contained (p : Problem.t) (sp : Split.t) (x : A.t) =
+let enter_verify runtime =
+  Option.iter (fun rt -> Runtime.enter_phase rt Runtime.Verify) runtime
+
+let particular_contained ?runtime (p : Problem.t) (sp : Split.t) (x : A.t) =
+  enter_verify runtime;
+  let tick = Runtime.ticker runtime in
   let man = p.Problem.man in
   if A.num_states x = 0 then false
   else begin
@@ -27,6 +32,7 @@ let particular_contained (p : Problem.t) (sp : Split.t) (x : A.t) =
     push (x.A.initial, init_sigma);
     let ok = ref true in
     while !ok && not (Queue.is_empty queue) do
+      tick ();
       let xs, sigma = Queue.pop queue in
       (* Every latch-bank move (v ∈ σ, any u) must be covered by X. *)
       let defined = A.defined_guard x xs in
@@ -46,9 +52,11 @@ let particular_contained (p : Problem.t) (sp : Split.t) (x : A.t) =
     !ok
   end
 
-let composition_with_machine
+let composition_with_machine ?runtime
     ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy) (p : Problem.t)
     (machine : Machine.t) =
+  enter_verify runtime;
+  let tick = Runtime.ticker runtime in
   let man = p.Problem.man in
   let f = p.Problem.f_sym and s = p.Problem.s_sym in
   let module NS = Network.Symbolic in
@@ -115,6 +123,7 @@ let composition_with_machine
     <> M.zero
   in
   let rec loop reached frontier =
+    tick ();
     if frontier = M.zero then true
     else if bad frontier then false
     else begin
@@ -125,8 +134,11 @@ let composition_with_machine
   in
   loop init init
 
-let composition_equals_spec ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
+let composition_equals_spec ?runtime
+    ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
     (p : Problem.t) (sp : Split.t) =
+  enter_verify runtime;
+  let tick = Runtime.ticker runtime in
   let man = p.Problem.man in
   let f = p.Problem.f_sym and s = p.Problem.s_sym in
   let module NS = Network.Symbolic in
@@ -159,6 +171,7 @@ let composition_equals_spec ?(strategy = Img.Image.Partitioned Img.Quantify.Gree
     O.rename man img rename_pairs
   in
   let rec loop reached frontier =
+    tick ();
     if frontier = M.zero then true
     else if
       (* ∃ reachable composed state, ∃ input: outputs of F×X_P and S differ *)

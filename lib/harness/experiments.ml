@@ -1,4 +1,5 @@
 module S = Equation.Solve
+module R = Equation.Runtime
 
 type row_result = {
   row : Circuits.Suite.row;
@@ -10,20 +11,22 @@ let default_time_limit = 120.0
 let default_node_limit = 10_000_000
 
 let run_row ?(time_limit = default_time_limit)
-    ?(node_limit = default_node_limit) (row : Circuits.Suite.row) =
+    ?(node_limit = default_node_limit) ?retries ?fallback
+    (row : Circuits.Suite.row) =
   let solve method_ =
-    S.solve_split ~node_limit ~time_limit ~method_ row.Circuits.Suite.net
-      ~x_latches:row.Circuits.Suite.x_latches
+    S.solve_split ~node_limit ~time_limit ?retries ?fallback ~method_
+      row.Circuits.Suite.net ~x_latches:row.Circuits.Suite.x_latches
   in
   let part = solve S.default_partitioned in
   let mono = solve S.Monolithic in
   { row; part; mono }
 
-let run_table1 ?time_limit ?node_limit ?(progress = fun _ -> ()) () =
+let run_table1 ?time_limit ?node_limit ?retries ?fallback
+    ?(progress = fun _ -> ()) () =
   List.map
     (fun row ->
       progress row.Circuits.Suite.name;
-      run_row ?time_limit ?node_limit row)
+      run_row ?time_limit ?node_limit ?retries ?fallback row)
     (Circuits.Suite.table1 ())
 
 let states_cell = function
@@ -41,6 +44,12 @@ let ratio_cell part mono =
     else Printf.sprintf "%.1f" (m.S.cpu_seconds /. p.S.cpu_seconds)
   | _, _ -> "-"
 
+let attempts_of = function
+  | S.Completed r -> r.S.attempts
+  | S.Could_not_complete { progress; _ } -> progress.S.attempts
+
+let fallbacks_of outcome = List.length (attempts_of outcome)
+
 let print_table1 fmt results =
   Format.fprintf fmt
     "%-8s %-10s %-8s %10s %8s %8s %7s@."
@@ -56,7 +65,42 @@ let print_table1 fmt results =
         (ratio_cell part mono))
     results
 
-let verify_row { part; _ } =
+let describe_attempt (a : S.attempt) =
+  Printf.sprintf
+    "%s failed in %s phase (%s; %d subset states, %d nodes, %.2fs)"
+    a.S.label
+    (R.phase_name a.S.phase)
+    a.S.failure a.S.subset_states a.S.peak_nodes a.S.cpu_seconds
+
+let print_attempts fmt results =
+  let print_outcome name which outcome =
+    match attempts_of outcome with
+    | [] -> ()
+    | attempts ->
+      List.iter
+        (fun a ->
+          Format.fprintf fmt "  %s %s: %s@." name which (describe_attempt a))
+        attempts;
+      (match outcome with
+       | S.Completed r ->
+         Format.fprintf fmt "  %s %s: recovered via %s@." name which
+           r.S.solved_by
+       | S.Could_not_complete { reason; progress; _ } ->
+         Format.fprintf fmt "  %s %s: CNC (%s, reached %s phase)@." name
+           which reason
+           (R.phase_name progress.S.phase_reached))
+  in
+  List.iter
+    (fun { row; part; mono } ->
+      print_outcome row.Circuits.Suite.name "partitioned" part;
+      print_outcome row.Circuits.Suite.name "monolithic" mono)
+    results
+
+let verify_row ?(time_limit = default_time_limit) { part; _ } =
   match part with
-  | S.Completed r -> Some (S.verify r)
+  | S.Completed r -> (
+    let rt = R.create ~deadline:(Sys.time () +. time_limit) () in
+    match S.verify ~runtime:rt r with
+    | checks -> Some checks
+    | exception Equation.Budget.Exceeded -> None)
   | S.Could_not_complete _ -> None

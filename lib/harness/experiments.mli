@@ -1,6 +1,7 @@
 (** The Table-1 reproduction harness, shared by the benchmark executable and
     the CLI: runs each suite row with both methods under a resource budget
-    and formats the table with the paper's columns. *)
+    and formats the table with the paper's columns, plus the attempt/
+    fallback history recorded by the solver's degradation ladder. *)
 
 type row_result = {
   row : Circuits.Suite.row;
@@ -15,11 +16,18 @@ val default_node_limit : int
 (** BDD nodes per run before declaring CNC (the memory budget). *)
 
 val run_row :
-  ?time_limit:float -> ?node_limit:int -> Circuits.Suite.row -> row_result
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?retries:int ->
+  ?fallback:bool ->
+  Circuits.Suite.row ->
+  row_result
 
 val run_table1 :
   ?time_limit:float ->
   ?node_limit:int ->
+  ?retries:int ->
+  ?fallback:bool ->
   ?progress:(string -> unit) ->
   unit ->
   row_result list
@@ -28,5 +36,22 @@ val print_table1 : Format.formatter -> row_result list -> unit
 (** The paper's Table 1 layout: Name, i/o/cs, Fcs/Xcs, States(X), Part,s,
     Mono,s, Ratio (with CNC entries where a run exhausted its budget). *)
 
-val verify_row : row_result -> (bool * bool) option
-(** Run the §4 checks on the partitioned result, when it completed. *)
+val attempts_of : Equation.Solve.outcome -> Equation.Solve.attempt list
+(** The failed attempts behind an outcome (empty for a first-try success). *)
+
+val fallbacks_of : Equation.Solve.outcome -> int
+(** [List.length (attempts_of outcome)]. *)
+
+val describe_attempt : Equation.Solve.attempt -> string
+(** One-line human-readable description of a failed attempt. *)
+
+val print_attempts : Format.formatter -> row_result list -> unit
+(** Per-row attempt history: every failed attempt, and how (or whether) the
+    run eventually completed. Prints nothing for rows that completed on the
+    first try. *)
+
+val verify_row : ?time_limit:float -> row_result -> (bool * bool) option
+(** Run the §4 checks on the partitioned result, when it completed — under
+    a fresh time budget (default {!default_time_limit}), so verification
+    can no longer run unbounded; [None] also when the budget is
+    exhausted. *)

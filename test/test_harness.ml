@@ -125,7 +125,14 @@ let test_print_table1_format () =
   let cnc =
     { r with
       H.mono =
-        E.Solve.Could_not_complete { cpu_seconds = 1.0; reason = "test" } }
+        E.Solve.Could_not_complete
+          { cpu_seconds = 1.0;
+            reason = "test";
+            progress =
+              { E.Solve.phase_reached = E.Runtime.Build;
+                subset_states_explored = 0;
+                peak_nodes_seen = 0;
+                attempts = [] } } }
   in
   let out = Format.asprintf "%a" H.print_table1 [ r; cnc ] in
   let contains needle haystack =
