@@ -67,11 +67,18 @@ let table1 () =
     Harness.Experiments.default_time_limit
     Harness.Experiments.default_node_limit;
   flush stdout;
+  (* observability on: the machine-readable baseline needs the image-call
+     and cache-hit counters *)
+  Obs.set_enabled true;
+  Obs.reset ();
   let results =
     Harness.Experiments.run_table1
       ~progress:(fun name -> Printf.eprintf "  running %s...\n%!" name)
       ()
   in
+  Obs.set_enabled false;
+  Harness.Experiments.write_bench_json "BENCH_table1.json" results;
+  Printf.printf "wrote BENCH_table1.json\n";
   Harness.Experiments.print_table1 Format.std_formatter results;
   (* degradation-ladder activity: which runs needed retries or fallbacks *)
   let fallbacks =

@@ -75,6 +75,52 @@ let no_fallback_arg =
 
 let load path = Network.Blif.parse_file path
 
+(* --- observability flags ---------------------------------------------------- *)
+
+let stats_arg =
+  let doc =
+    "Record solver statistics (counters, timers, spans) and emit the JSON \
+     snapshot to $(docv) after the run; $(b,-) (the default when the flag \
+     is given bare) means stdout. Emitted even when the run could not \
+     complete, with the partial counters of the failed attempts."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record the span/event trace and emit it as JSON to $(docv) after the \
+     run; $(b,-) means stdout."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let obs_setup ~stats ~trace =
+  if stats <> None || trace <> None then begin
+    Obs.set_enabled true;
+    Obs.reset ()
+  end
+
+let obs_emit ~stats ~trace =
+  let write dest content =
+    match dest with
+    | "-" ->
+      print_string content;
+      print_newline ()
+    | f ->
+      let oc = open_out f in
+      output_string oc content;
+      output_char oc '\n';
+      close_out oc;
+      Format.eprintf "wrote %s@." f
+  in
+  Option.iter (fun d -> write d (Obs.Stats.snapshot ())) stats;
+  Option.iter (fun d -> write d (Obs.Trace.to_json ())) trace
+
 (* attempt history shared by the solve/resynth outcome reports *)
 let print_attempts attempts =
   List.iter
@@ -177,14 +223,17 @@ let solve_cmd =
     Arg.(value & opt (some string) None & info [ "aut" ] ~doc)
   in
   let run path latches method_ time_limit node_limit retries no_fallback
-      verify dot minimize aut =
+      verify dot minimize aut stats trace =
     guard @@ fun () ->
+    obs_setup ~stats ~trace;
     let net = load path in
     match
       E.Solve.solve_split ~node_limit ~time_limit ~retries
         ~fallback:(not no_fallback) ~method_ net ~x_latches:latches
     with
     | E.Solve.Could_not_complete { cpu_seconds; reason; progress } ->
+      (* flush the partial counters of the failed attempts before exiting *)
+      obs_emit ~stats ~trace;
       report_cnc cpu_seconds reason progress
     | E.Solve.Completed r ->
       report_recovery r;
@@ -202,7 +251,10 @@ let solve_cmd =
       if verify then begin
         let contained, equal = E.Solve.verify r in
         Format.printf "X_P ⊆ X: %b@.F × X_P ≡ S: %b@." contained equal;
-        if not (contained && equal) then exit 3
+        if not (contained && equal) then begin
+          obs_emit ~stats ~trace;
+          exit 3
+        end
       end;
       (match dot with
        | Some f ->
@@ -215,7 +267,8 @@ let solve_cmd =
        | Some f ->
          Fsa.Aut.write_file f csf;
          Format.printf "wrote %s@." f
-       | None -> ())
+       | None -> ());
+      obs_emit ~stats ~trace
   in
   Cmd.v
     (Cmd.info "solve"
@@ -223,7 +276,7 @@ let solve_cmd =
     Term.(
       const run $ network_arg $ latches_arg $ method_arg $ time_limit_arg
       $ node_limit_arg $ retries_arg $ no_fallback_arg $ verify_arg $ dot_arg
-      $ minimize_arg $ aut_arg)
+      $ minimize_arg $ aut_arg $ stats_arg $ trace_arg)
 
 (* --- resynth ----------------------------------------------------------------- *)
 
@@ -245,14 +298,16 @@ let resynth_cmd =
     in
     Arg.(value & opt heuristic_conv E.Extract.First & info [ "heuristic" ] ~doc)
   in
-  let run path latches time_limit node_limit heuristic out kiss =
+  let run path latches time_limit node_limit heuristic out kiss stats trace =
     guard @@ fun () ->
+    obs_setup ~stats ~trace;
     let net = load path in
     match
       E.Solve.solve_split ~node_limit ~time_limit
         ~method_:E.Solve.default_partitioned net ~x_latches:latches
     with
     | E.Solve.Could_not_complete { cpu_seconds; reason; progress } ->
+      obs_emit ~stats ~trace;
       report_cnc cpu_seconds reason progress
     | E.Solve.Completed r ->
       report_recovery r;
@@ -262,6 +317,7 @@ let resynth_cmd =
        with
        | None ->
          Format.printf "no Moore sub-solution found@.";
+         obs_emit ~stats ~trace;
          exit 3
        | Some (xnet, machine) ->
          Format.printf "extracted machine: %d states -> %a@."
@@ -271,7 +327,10 @@ let resynth_cmd =
            E.Verify.composition_with_machine r.E.Solve.problem machine
          in
          Format.printf "F x X' = S: %b@." certified;
-         if not certified then exit 4;
+         if not certified then begin
+           obs_emit ~stats ~trace;
+           exit 4
+         end;
          (match out with
           | Some f ->
             Network.Blif.write_file f xnet;
@@ -281,7 +340,8 @@ let resynth_cmd =
           | Some f ->
             E.Kiss.write_file f machine;
             Format.printf "wrote %s@." f
-          | None -> ()))
+          | None -> ()));
+      obs_emit ~stats ~trace
   in
   Cmd.v
     (Cmd.info "resynth"
@@ -290,7 +350,7 @@ let resynth_cmd =
           and synthesize it back to a circuit")
     Term.(
       const run $ network_arg $ latches_arg $ time_limit_arg $ node_limit_arg
-      $ heuristic_arg $ out_arg $ kiss_arg)
+      $ heuristic_arg $ out_arg $ kiss_arg $ stats_arg $ trace_arg)
 
 (* --- gen -------------------------------------------------------------------- *)
 
@@ -502,14 +562,31 @@ let table1_cmd =
     let doc = "Also verify each completed partitioned result." in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run time_limit node_limit retries no_fallback verify =
+  let json_arg =
+    let doc =
+      "Write the machine-readable per-circuit baseline (time, peak nodes, \
+       image calls, cache hit rate, subset states) to this JSON file; \
+       enables observability for the run."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run time_limit node_limit retries no_fallback verify json =
     guard @@ fun () ->
+    if json <> None then begin
+      Obs.set_enabled true;
+      Obs.reset ()
+    end;
     let results =
       Harness.Experiments.run_table1 ~time_limit ~node_limit ~retries
         ~fallback:(not no_fallback)
         ~progress:(fun name -> Format.eprintf "running %s...@." name)
         ()
     in
+    (match json with
+     | Some f ->
+       Harness.Experiments.write_bench_json ~time_limit ~node_limit f results;
+       Format.eprintf "wrote %s@." f
+     | None -> ());
     Harness.Experiments.print_table1 Format.std_formatter results;
     Harness.Experiments.print_attempts Format.std_formatter results;
     if verify then
@@ -526,7 +603,7 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 on the analog suite")
     Term.(
       const run $ time_arg $ nodes_arg $ retries_arg $ no_fallback_arg
-      $ verify_arg)
+      $ verify_arg $ json_arg)
 
 let () =
   let doc = "language-equation solving with partitioned representations" in

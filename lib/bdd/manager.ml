@@ -32,6 +32,35 @@ type t = {
 
 exception Node_limit_exceeded
 
+(* Observability cells, registered once at module initialisation. Every
+   hot-path update is behind a single [if !Obs.on] branch, so with stats
+   disabled the cost is one boolean load per site. Counter names are part
+   of the documented snapshot schema (see DESIGN.md, "Observability"). *)
+let c_mk = Obs.Counter.make "bdd.mk_calls"
+let c_unique_hit = Obs.Counter.make "bdd.unique.hits"
+let c_alloc = Obs.Counter.make "bdd.nodes_created"
+let c_rehash = Obs.Counter.make "bdd.unique.rehashes"
+let c_grow_nodes = Obs.Counter.make "bdd.nodes.grows"
+let c_grow_cache = Obs.Counter.make "bdd.cache.grows"
+let c_clear = Obs.Counter.make "bdd.cache.clears"
+let c_lookup = Obs.Counter.make "bdd.cache.lookups"
+let c_hit = Obs.Counter.make "bdd.cache.hits"
+let g_peak = Obs.Gauge.make "bdd.peak_nodes"
+
+(* per-operation cache counters, indexed by the [Op] tag below; slot 0 is
+   unused and maps to the dummy cell *)
+let op_names =
+  [| ""; "ite"; "not"; "exists"; "forall"; "and_exists"; "compose";
+     "constrain" |]
+
+let per_op prefix =
+  Array.mapi
+    (fun i n -> if i = 0 then Obs.Counter.dummy else Obs.Counter.make (prefix ^ n))
+    op_names
+
+let c_lookup_op = per_op "bdd.cache.lookups."
+let c_hit_op = per_op "bdd.cache.hits."
+
 let zero = 0
 let one = 1
 let terminal_level = max_int
@@ -79,6 +108,7 @@ let hash3 v lo hi =
   h land max_int
 
 let grow_nodes m =
+  if !Obs.on then Obs.Counter.bump c_grow_nodes;
   let cap = Array.length m.var_of in
   let cap' = 2 * cap in
   let extend a fill =
@@ -93,6 +123,7 @@ let grow_nodes m =
 let grow_cache m =
   let size = m.c_mask + 1 in
   if size < 1 lsl max_cache_bits then begin
+    if !Obs.on then Obs.Counter.bump c_grow_cache;
     let size' = 2 * size in
     m.c_key_op <- Array.make size' (-1);
     m.c_key_a <- Array.make size' 0;
@@ -103,6 +134,7 @@ let grow_cache m =
   end
 
 let rehash_unique m =
+  if !Obs.on then Obs.Counter.bump c_rehash;
   let size' = 2 * (m.u_mask + 1) in
   let slot' = Array.make size' (-1) in
   let mask' = size' - 1 in
@@ -126,6 +158,7 @@ let set_alloc_hook m hook = m.alloc_hook <- hook
 let mk m v lo hi =
   if lo = hi then lo
   else begin
+    if !Obs.on then Obs.Counter.bump c_mk;
     let mask = m.u_mask in
     let h = ref (hash3 v lo hi land mask) in
     let found = ref (-1) in
@@ -140,7 +173,10 @@ let mk m v lo hi =
       end
       else h := (!h + 1) land mask
     done;
-    if !found >= 0 then !found
+    if !found >= 0 then begin
+      if !Obs.on then Obs.Counter.bump c_unique_hit;
+      !found
+    end
     else begin
       (match m.node_limit with
        | Some lim when m.n_nodes >= lim -> raise Node_limit_exceeded
@@ -149,6 +185,10 @@ let mk m v lo hi =
       if m.n_nodes >= Array.length m.var_of then grow_nodes m;
       let id = m.n_nodes in
       m.n_nodes <- id + 1;
+      if !Obs.on then begin
+        Obs.Counter.bump c_alloc;
+        Obs.Gauge.set_max g_peak m.n_nodes
+      end;
       m.var_of.(id) <- v;
       m.low_of.(id) <- lo;
       m.high_of.(id) <- hi;
@@ -198,11 +238,21 @@ let cache_slot m op a b c =
 
 let cache_find m op a b c =
   let s = cache_slot m op a b c in
-  if
+  let hit =
     m.c_key_op.(s) = op && m.c_key_a.(s) = a && m.c_key_b.(s) = b
     && m.c_key_c.(s) = c
-  then Some m.c_res.(s)
-  else None
+  in
+  if !Obs.on then begin
+    Obs.Counter.bump c_lookup;
+    if op > 0 && op < Array.length c_lookup_op then
+      Obs.Counter.bump c_lookup_op.(op);
+    if hit then begin
+      Obs.Counter.bump c_hit;
+      if op > 0 && op < Array.length c_hit_op then
+        Obs.Counter.bump c_hit_op.(op)
+    end
+  end;
+  if hit then Some m.c_res.(s) else None
 
 let cache_store m op a b c r =
   let s = cache_slot m op a b c in
@@ -213,6 +263,10 @@ let cache_store m op a b c r =
   m.c_res.(s) <- r
 
 let clear_caches m =
+  if !Obs.on then begin
+    Obs.Counter.bump c_clear;
+    Obs.Trace.point "bdd.cache.clear"
+  end;
   Array.fill m.c_key_op 0 (Array.length m.c_key_op) (-1);
   Hashtbl.reset m.support_memo
 

@@ -1,6 +1,9 @@
 module M = Manager
 module O = Ops
 
+let c_reorders = Obs.Counter.make "bdd.reorders"
+let c_migrated = Obs.Counter.make "bdd.reorder.nodes_migrated"
+
 let migrate ~src ~dst ~var_map roots =
   let memo = Hashtbl.create 256 in
   let rec go f =
@@ -16,7 +19,9 @@ let migrate ~src ~dst ~var_map roots =
         Hashtbl.add memo f r;
         r
   in
-  List.map go roots
+  let roots' = List.map go roots in
+  if !Obs.on then Obs.Counter.add c_migrated (Hashtbl.length memo);
+  roots'
 
 let force_order m ?hyperedges roots =
   let n = M.num_vars m in
@@ -69,6 +74,10 @@ let manager_with_order src order =
   (dst, fun v -> var_map.(v))
 
 let reorder m ?hyperedges roots =
+  if !Obs.on then begin
+    Obs.Counter.bump c_reorders;
+    Obs.Trace.point "bdd.reorder"
+  end;
   let order = force_order m ?hyperedges roots in
   let dst, var_map = manager_with_order m order in
   let roots' = migrate ~src:m ~dst ~var_map roots in

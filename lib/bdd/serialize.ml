@@ -30,11 +30,16 @@ let dump m roots =
        (List.map (fun r -> " " ^ string_of_int (Hashtbl.find file_id r)) roots));
   Buffer.contents buf
 
-let load m ?(var_map = fun v -> v) text =
+let load m ?(import_names = false) ?(var_map = fun v -> v) text =
   let node_of = Hashtbl.create 64 in
   Hashtbl.replace node_of 0 M.zero;
   Hashtbl.replace node_of 1 M.one;
   let roots = ref None in
+  let int_field what x =
+    match int_of_string_opt x with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "Serialize.load: bad %s %S" what x)
+  in
   let resolve id =
     match Hashtbl.find_opt node_of id with
     | Some n -> n
@@ -45,22 +50,33 @@ let load m ?(var_map = fun v -> v) text =
       match String.split_on_char ' ' (String.trim line) with
       | [] | [ "" ] -> ()
       | "bdd" :: _ -> ()
+      | "var" :: v :: name when import_names ->
+        (* allocate missing variables up to [v] and restore the dumped
+           name (names may contain spaces; rejoin the tail) *)
+        let v = int_field "variable index" v in
+        if v < 0 then failwith "Serialize.load: negative variable index";
+        while M.num_vars m <= v do
+          ignore (M.new_var m : int)
+        done;
+        (match String.concat " " name with
+         | "" -> ()
+         | name -> M.set_var_name m v name)
       | "var" :: _ -> () (* names are informative only *)
       | [ "node"; id; v; lo; hi ] ->
-        let id = int_of_string id in
-        let v = var_map (int_of_string v) in
+        let id = int_field "node id" id in
+        let v = var_map (int_field "variable index" v) in
         if v < 0 || v >= M.num_vars m then
           failwith "Serialize.load: variable out of range";
         (* ite instead of mk: a permuting [var_map] may place the variable
            below its children's levels *)
         let node =
           Ops.ite m (Ops.var_bdd m v)
-            (resolve (int_of_string hi))
-            (resolve (int_of_string lo))
+            (resolve (int_field "node id" hi))
+            (resolve (int_field "node id" lo))
         in
         Hashtbl.replace node_of id node
       | "roots" :: ids ->
-        roots := Some (List.map (fun id -> resolve (int_of_string id)) ids)
+        roots := Some (List.map (fun id -> resolve (int_field "root id" id)) ids)
       | _ -> failwith ("Serialize.load: bad line: " ^ line))
     (String.split_on_char '\n' text);
   match !roots with
@@ -72,9 +88,9 @@ let dump_file path m roots =
   output_string oc (dump m roots);
   close_out oc
 
-let load_file m ?var_map path =
+let load_file m ?import_names ?var_map path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let text = really_input_string ic n in
   close_in ic;
-  load m ?var_map text
+  load m ?import_names ?var_map text

@@ -1,9 +1,15 @@
+let c_passes = Obs.Counter.make "csf.passes"
+
 let csf ?runtime (p : Problem.t) x =
   Option.iter (fun rt -> Runtime.enter_phase rt Runtime.Csf) runtime;
   let tick = Runtime.ticker runtime in
+  let on_pass () =
+    if !Obs.on then Obs.Counter.bump c_passes;
+    tick ()
+  in
   tick ();
   let closed = Fsa.Ops.prefix_close x in
   tick ();
-  Fsa.Ops.progressive ~on_pass:tick closed ~inputs:(Problem.x_input_vars p)
+  Fsa.Ops.progressive ~on_pass closed ~inputs:(Problem.x_input_vars p)
 
 let num_states = Fsa.Automaton.num_states

@@ -8,6 +8,9 @@ type stats = {
   peak_nodes : int;
 }
 
+let c_expanded = Obs.Counter.make "subset.states_expanded"
+let c_image = Obs.Counter.make "image.calls"
+
 let relation_of_functions man pairs =
   O.conj man
     (List.map (fun (v, fn) -> O.bxnor man (O.var_bdd man v) fn) pairs)
@@ -97,6 +100,10 @@ let solve ?runtime (p : Problem.t) =
     Option.iter (fun rt -> Runtime.note_subset_states rt !count) runtime;
     let zeta = Queue.pop queue in
     let k = Hashtbl.find index zeta in
+    if !Obs.on then begin
+      Obs.Counter.bump c_expanded;
+      Obs.Counter.bump c_image
+    end;
     Option.iter Runtime.tick_image runtime;
     let p_rel = O.and_exists man cs_cube hidden zeta in
     let domain = O.exists man ns_cube p_rel in

@@ -9,6 +9,9 @@ type stats = {
 
 type q_mode = Per_output | Combined
 
+let c_expanded = Obs.Counter.make "subset.states_expanded"
+let c_image = Obs.Counter.make "image.calls"
+
 let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
     ?(q_mode = Combined) ?(cluster_threshold = 1) ?on_state (p : Problem.t) =
   let notify k = match on_state with Some f -> f k | None -> () in
@@ -31,6 +34,7 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
   let non_conformance = List.map (O.bnot man) (Problem.conformance_parts p) in
   let conjoin_exists rels =
     incr images;
+    if !Obs.on then Obs.Counter.bump c_image;
     Option.iter Runtime.tick_image runtime;
     match strategy with
     | Img.Image.Monolithic ->
@@ -86,6 +90,7 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
     Option.iter (fun rt -> Runtime.note_subset_states rt !count) runtime;
     let zeta = Queue.pop queue in
     let k = Hashtbl.find index zeta in
+    if !Obs.on then Obs.Counter.bump c_expanded;
     notify k;
     let q = non_conforming zeta in
     let p_rel = O.bdiff man (successor_relation zeta) q in

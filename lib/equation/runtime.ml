@@ -104,11 +104,16 @@ type t = {
   mutable ticks : int;
   mutable images : int;
   mutable subset_states : int;
+  (* open observability span of the current phase; closed on the next
+     [enter_phase], or unwound by the enclosing attempt span when the
+     attempt raises (Obs.Span.exit closes abandoned children) *)
+  mutable phase_span : Obs.Span.t option;
 }
 
 let create ?deadline ?node_limit ?fault () =
   { deadline; node_limit; fault;
-    phase = Build; ticks = 0; images = 0; subset_states = 0 }
+    phase = Build; ticks = 0; images = 0; subset_states = 0;
+    phase_span = None }
 
 let check_time rt =
   match rt.deadline with
@@ -140,6 +145,10 @@ let tick_image rt =
   tick rt
 
 let enter_phase rt ph =
+  if !Obs.on then begin
+    (match rt.phase_span with Some sp -> Obs.Span.exit sp | None -> ());
+    rt.phase_span <- Some (Obs.Span.enter ("phase." ^ phase_name ph))
+  end;
   rt.phase <- ph;
   fire_phase_fault rt;
   check_time rt

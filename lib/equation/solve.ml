@@ -133,6 +133,14 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
       finish (sp, p) (Partitioned strategy)
   in
   let record label t0 failure =
+    (* flush partial stats of the failed attempt into the trace, so a
+       Could_not_complete snapshot still shows where each rung died *)
+    Obs.Trace.point
+      ~detail:
+        (Printf.sprintf "%s: %s (phase %s, %d subset states)" label failure
+           (Runtime.phase_name (Runtime.phase rt))
+           (Runtime.subset_states rt))
+      "solve.attempt_failed";
     attempts :=
       { label;
         phase = Runtime.phase rt;
@@ -176,18 +184,26 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
     | step :: rest -> (
       let label = step_label step in
       let t0 = Sys.time () in
+      (* the attempt span is the parent of the Runtime phase spans; exiting
+         it (on success or failure) also unwinds any phase span the attempt
+         left open *)
+      let span = Obs.Span.enter ("attempt." ^ label) in
       match run_step step with
-      | result -> complete label result
+      | result ->
+        Obs.Span.exit span;
+        complete label result
       | exception M.Node_limit_exceeded ->
+        Obs.Span.exit span;
         record label t0 "node limit exceeded";
         descend rest
       | exception Budget.Exceeded ->
         (* the deadline is global: once it has passed, a lower rung cannot
            help, so stop the ladder immediately *)
+        Obs.Span.exit span;
         record label t0 "time limit exceeded";
         cnc "time limit exceeded")
   in
-  descend (ladder ~method_ ~retries ~fallback)
+  Obs.Span.with_ "solve" (fun () -> descend (ladder ~method_ ~retries ~fallback))
 
 let verify ?runtime r =
   ( Verify.particular_contained ?runtime r.problem r.split r.csf,

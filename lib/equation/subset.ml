@@ -1,22 +1,45 @@
 module M = Bdd.Manager
 module O = Bdd.Ops
 
+let c_calls = Obs.Counter.make "subset.split_calls"
+let c_arcs = Obs.Counter.make "subset.arcs"
+
+let describe_symbol man lits =
+  String.concat " "
+    (List.map
+       (fun (v, b) ->
+         Printf.sprintf "%s=%d" (M.var_name man v) (if b then 1 else 0))
+       lits)
+
 let split_successors ?runtime man ~p ~alphabet ~ns_cube =
+  if !Obs.on then Obs.Counter.bump c_calls;
   let tick = Runtime.ticker runtime in
   let rec go domain acc =
     if domain = M.zero then acc
     else begin
       tick ();
-      let symbol =
+      let lits =
         match O.pick_minterm man domain alphabet with
-        | Some lits -> O.cube_of_literals man lits
-        | None -> assert false
+        | Some lits -> lits
+        | None ->
+          invalid_arg
+            "Subset.split_successors: nonzero successor domain has no \
+             minterm over the alphabet (the alphabet does not cover the \
+             domain's support; check the problem's variable split)"
       in
+      let symbol = O.cube_of_literals man lits in
       let successor = O.cofactor_cube man p symbol in
       (* all symbols whose successor set is exactly [successor] *)
       let differs = O.exists man ns_cube (O.bxor man p successor) in
       let guard = O.bdiff man domain differs in
-      assert (guard <> M.zero);
+      if guard = M.zero then
+        invalid_arg
+          (Printf.sprintf
+             "Subset.split_successors: empty guard for symbol [%s] — the \
+              relation is not constant on its own symbol class (an alphabet \
+              variable likely also occurs in the next-state cube)"
+             (describe_symbol man lits));
+      if !Obs.on then Obs.Counter.bump c_arcs;
       go (O.bdiff man domain guard) ((guard, successor) :: acc)
     end
   in

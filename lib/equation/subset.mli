@@ -15,4 +15,9 @@ val split_successors :
     symbol of its guard; by construction all symbols of a guard share that
     cofactor. With [runtime], {!Runtime.tick} runs once per enumerated
     successor class, so a state with very many classes still honours the
-    budget. *)
+    budget.
+
+    Raises [Invalid_argument] with a description of the offending symbol
+    when the inputs break the contract — when [alphabet] does not cover
+    the support of [∃ns. P], or when an alphabet variable also occurs in
+    [ns_cube] (so no symbol has a well-defined successor class). *)

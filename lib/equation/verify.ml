@@ -2,6 +2,9 @@ module M = Bdd.Manager
 module O = Bdd.Ops
 module A = Fsa.Automaton
 
+let c_pairs = Obs.Counter.make "verify.pairs_visited"
+let c_frontier = Obs.Counter.make "verify.frontier_steps"
+
 let enter_verify runtime =
   Option.iter (fun rt -> Runtime.enter_phase rt Runtime.Verify) runtime
 
@@ -33,6 +36,7 @@ let particular_contained ?runtime (p : Problem.t) (sp : Split.t) (x : A.t) =
     let ok = ref true in
     while !ok && not (Queue.is_empty queue) do
       tick ();
+      if !Obs.on then Obs.Counter.bump c_pairs;
       let xs, sigma = Queue.pop queue in
       (* Every latch-bank move (v ∈ σ, any u) must be covered by X. *)
       let defined = A.defined_guard x xs in
@@ -124,6 +128,7 @@ let composition_with_machine ?runtime
   in
   let rec loop reached frontier =
     tick ();
+    if !Obs.on then Obs.Counter.bump c_frontier;
     if frontier = M.zero then true
     else if bad frontier then false
     else begin
@@ -172,6 +177,7 @@ let composition_equals_spec ?runtime
   in
   let rec loop reached frontier =
     tick ();
+    if !Obs.on then Obs.Counter.bump c_frontier;
     if frontier = M.zero then true
     else if
       (* ∃ reachable composed state, ∃ input: outputs of F×X_P and S differ *)

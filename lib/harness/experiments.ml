@@ -1,25 +1,65 @@
 module S = Equation.Solve
 module R = Equation.Runtime
 
+type method_stats = {
+  time_s : float;
+  peak_nodes : int;
+  image_calls : int;
+  cache_hit_rate : float;
+  subset_states : int;
+  completed : bool;
+}
+
 type row_result = {
   row : Circuits.Suite.row;
   part : S.outcome;
   mono : S.outcome;
+  part_stats : method_stats;
+  mono_stats : method_stats;
 }
 
 let default_time_limit = 120.0
 let default_node_limit = 10_000_000
 
+(* Per-method stats come from the outcome itself plus deltas of the global
+   obs counters across the solve; with observability disabled the counter
+   deltas (image calls, cache rate) are zero but the outcome-derived fields
+   are still meaningful. *)
+let with_stats solve =
+  let img0 = Obs.Counter.find "image.calls" in
+  let hits0 = Obs.Counter.find "bdd.cache.hits" in
+  let lookups0 = Obs.Counter.find "bdd.cache.lookups" in
+  let outcome = solve () in
+  let image_calls = Obs.Counter.find "image.calls" - img0 in
+  let hits = Obs.Counter.find "bdd.cache.hits" - hits0 in
+  let lookups = Obs.Counter.find "bdd.cache.lookups" - lookups0 in
+  let cache_hit_rate =
+    if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
+  in
+  let time_s, peak_nodes, subset_states, completed =
+    match outcome with
+    | S.Completed r ->
+      (r.S.cpu_seconds, r.S.peak_nodes, r.S.subset_states, true)
+    | S.Could_not_complete { cpu_seconds; progress; _ } ->
+      ( cpu_seconds,
+        progress.S.peak_nodes_seen,
+        progress.S.subset_states_explored,
+        false )
+  in
+  ( outcome,
+    { time_s; peak_nodes; image_calls; cache_hit_rate; subset_states;
+      completed } )
+
 let run_row ?(time_limit = default_time_limit)
     ?(node_limit = default_node_limit) ?retries ?fallback
     (row : Circuits.Suite.row) =
-  let solve method_ =
+  let solve method_ () =
     S.solve_split ~node_limit ~time_limit ?retries ?fallback ~method_
       row.Circuits.Suite.net ~x_latches:row.Circuits.Suite.x_latches
   in
-  let part = solve S.default_partitioned in
-  let mono = solve S.Monolithic in
-  { row; part; mono }
+  let part, part_stats = with_stats (solve S.default_partitioned) in
+  let mono, mono_stats = with_stats (solve S.Monolithic) in
+  { row; part; mono; part_stats; mono_stats }
 
 let run_table1 ?time_limit ?node_limit ?retries ?fallback
     ?(progress = fun _ -> ()) () =
@@ -55,7 +95,7 @@ let print_table1 fmt results =
     "%-8s %-10s %-8s %10s %8s %8s %7s@."
     "Name" "i/o/cs" "Fcs/Xcs" "States(X)" "Part,s" "Mono,s" "Ratio";
   List.iter
-    (fun { row; part; mono } ->
+    (fun { row; part; mono; _ } ->
       let i, o, cs, fcs, xcs = Circuits.Suite.profile row in
       Format.fprintf fmt "%-8s %-10s %-8s %10s %8s %8s %7s@."
         row.Circuits.Suite.name
@@ -91,10 +131,41 @@ let print_attempts fmt results =
            (R.phase_name progress.S.phase_reached))
   in
   List.iter
-    (fun { row; part; mono } ->
+    (fun { row; part; mono; _ } ->
       print_outcome row.Circuits.Suite.name "partitioned" part;
       print_outcome row.Circuits.Suite.name "monolithic" mono)
     results
+
+let method_stats_fields (s : method_stats) =
+  [ ("time_s", Obs.Json.Float s.time_s);
+    ("peak_nodes", Obs.Json.Int s.peak_nodes);
+    ("image_calls", Obs.Json.Int s.image_calls);
+    ("cache_hit_rate", Obs.Json.Float s.cache_hit_rate);
+    ("subset_states", Obs.Json.Int s.subset_states);
+    ("completed", Obs.Json.Bool s.completed) ]
+
+let bench_json ?(time_limit = default_time_limit)
+    ?(node_limit = default_node_limit) results =
+  Obs.Json.Obj
+    [ ("suite", Obs.Json.String "table1");
+      ("time_limit_s", Obs.Json.Float time_limit);
+      ("node_limit", Obs.Json.Int node_limit);
+      ( "circuits",
+        Obs.Json.List
+          (List.map
+             (fun { row; part_stats; mono_stats; _ } ->
+               Obs.Json.Obj
+                 (("name", Obs.Json.String row.Circuits.Suite.name)
+                  :: method_stats_fields part_stats
+                 @ [ ("monolithic", Obs.Json.Obj (method_stats_fields mono_stats))
+                   ]))
+             results) ) ]
+
+let write_bench_json ?time_limit ?node_limit path results =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string (bench_json ?time_limit ?node_limit results));
+  output_char oc '\n';
+  close_out oc
 
 let verify_row ?(time_limit = default_time_limit) { part; _ } =
   match part with

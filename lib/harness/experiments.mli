@@ -3,10 +3,23 @@
     and formats the table with the paper's columns, plus the attempt/
     fallback history recorded by the solver's degradation ladder. *)
 
+type method_stats = {
+  time_s : float;  (** CPU seconds of the solve (budget time on CNC) *)
+  peak_nodes : int;
+  image_calls : int;  (** delta of the global [image.calls] obs counter *)
+  cache_hit_rate : float;
+      (** op-cache hit rate over the solve; [0.] when observability was
+          disabled for the run *)
+  subset_states : int;
+  completed : bool;  (** [false] when the outcome was CNC *)
+}
+
 type row_result = {
   row : Circuits.Suite.row;
   part : Equation.Solve.outcome;
   mono : Equation.Solve.outcome;
+  part_stats : method_stats;
+  mono_stats : method_stats;
 }
 
 val default_time_limit : float
@@ -49,6 +62,20 @@ val print_attempts : Format.formatter -> row_result list -> unit
 (** Per-row attempt history: every failed attempt, and how (or whether) the
     run eventually completed. Prints nothing for rows that completed on the
     first try. *)
+
+val bench_json :
+  ?time_limit:float -> ?node_limit:int -> row_result list -> Obs.Json.t
+(** The machine-readable baseline: [{"suite":"table1", "time_limit_s":...,
+    "node_limit":..., "circuits":[{"name":..., "time_s":..., "peak_nodes":...,
+    "image_calls":..., "cache_hit_rate":..., "subset_states":...,
+    "completed":..., "monolithic":{...}}]}]. Per-circuit fields describe the
+    partitioned flow; the nested ["monolithic"] object carries the same
+    fields for the monolithic flow. Image-call counts and cache rates are
+    populated only when observability was enabled during the run. *)
+
+val write_bench_json :
+  ?time_limit:float -> ?node_limit:int -> string -> row_result list -> unit
+(** Write {!bench_json} (plus a trailing newline) to a file. *)
 
 val verify_row : ?time_limit:float -> row_result -> (bool * bool) option
 (** Run the §4 checks on the partitioned result, when it completed — under

@@ -1,6 +1,21 @@
 type strategy = Monolithic | Partitioned of Quantify.order
 
+let c_calls = Obs.Counter.make "image.calls"
+
+let c_sched_mono = Obs.Counter.make "image.schedule.monolithic"
+let c_sched_given = Obs.Counter.make "image.schedule.given"
+let c_sched_greedy = Obs.Counter.make "image.schedule.greedy"
+
+let c_schedule = function
+  | Monolithic -> c_sched_mono
+  | Partitioned Quantify.Given -> c_sched_given
+  | Partitioned Quantify.Greedy -> c_sched_greedy
+
 let image strategy (p : Partition.t) ~quantify ~care =
+  if !Obs.on then begin
+    Obs.Counter.bump c_calls;
+    Obs.Counter.bump (c_schedule strategy)
+  end;
   let rels = care :: p.Partition.parts in
   match strategy with
   | Monolithic -> Quantify.monolithic_and_exists p.Partition.man rels ~quantify

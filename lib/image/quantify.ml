@@ -3,6 +3,9 @@ module O = Bdd.Ops
 
 type order = Given | Greedy
 
+let c_conj = Obs.Counter.make "image.conjunctions"
+let g_peak_intermediate = Obs.Gauge.make "image.peak_intermediate"
+
 (* [∃ quantify. ∧ rels] with early quantification: a variable is quantified
    at the first step after which no unprocessed conjunct mentions it. [occ]
    tracks, per quantifiable variable, how many unprocessed conjuncts use
@@ -69,6 +72,10 @@ let and_exists_list m ?(order = Greedy) rels ~quantify =
     in
     let cube = O.cube_of_vars m dying in
     acc := O.and_exists m cube !acc parts.(k);
+    if !Obs.on then begin
+      Obs.Counter.bump c_conj;
+      Obs.Gauge.set_max g_peak_intermediate (O.size m !acc)
+    end;
     (* A quantified variable is gone from the accumulator; forget it so it
        is not considered "dying" again. *)
     List.iter (fun v -> Hashtbl.remove qset v) dying;
@@ -78,6 +85,10 @@ let and_exists_list m ?(order = Greedy) rels ~quantify =
 
 let monolithic_and_exists m rels ~quantify =
   let product = O.conj m rels in
+  if !Obs.on then begin
+    Obs.Counter.add c_conj (max 0 (List.length rels - 1));
+    Obs.Gauge.set_max g_peak_intermediate (O.size m product)
+  end;
   O.exists m (O.cube_of_vars m quantify) product
 
 let and_forall_list m ?order rels ~quantify =

@@ -1,0 +1,174 @@
+(** Lightweight observability for the solver: monotonic counters, max
+    gauges, accumulated wall/CPU timers, a span-scoped event trace in a
+    bounded ring buffer with a pluggable sink, and a hand-rolled JSON
+    snapshot — no dependencies beyond the compiler distribution.
+
+    The layer is process-global and disabled by default. Hot paths guard
+    their updates with a single branch on {!on}, so the cost with stats
+    off is one boolean load per instrumentation site; everything else
+    (spans, trace, timers) checks {!on} internally. Counter/gauge
+    registration at module-initialization time is free either way. *)
+
+val on : bool ref
+(** The single enable flag. Hot paths read it directly:
+    [if !Obs.on then Obs.Counter.bump c]. Prefer {!set_enabled}
+    elsewhere — it also stamps the trace time base. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Enable or disable recording. Enabling does not clear prior data;
+    call {!reset} for a fresh measurement window. *)
+
+val reset : unit -> unit
+(** Zero every registered counter, gauge and timer, drop all trace
+    events, and restart the trace clock. Registrations survive. *)
+
+(** Minimal JSON emitter (no parser, no dependencies). Floats are
+    rendered finite (NaN/infinities become [0]); strings are escaped per
+    RFC 8259. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+end
+
+(** Named monotonic counters in a global registry. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Register (or fetch) the counter with this name. Idempotent. *)
+
+  val dummy : t
+  (** An unregistered sink counter, for indexed tables with unused
+      slots; never appears in snapshots. *)
+
+  val bump : t -> unit
+  (** Unconditional increment — the caller guards with [!Obs.on]. *)
+
+  val add : t -> int -> unit
+
+  val value : t -> int
+
+  val find : string -> int
+  (** Current value by name; [0] when no such counter is registered. *)
+
+  val all : unit -> (string * int) list
+  (** All registered counters, sorted by name. *)
+end
+
+(** Named high-water-mark gauges. *)
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val dummy : t
+
+  val set_max : t -> int -> unit
+  (** Raise the gauge to [v] if above its current value. The caller
+      guards with [!Obs.on]. *)
+
+  val set : t -> int -> unit
+  val value : t -> int
+  val find : string -> int
+  val all : unit -> (string * int) list
+end
+
+(** Accumulated durations by name: total wall seconds, total CPU
+    seconds, and an invocation count. {!Span.exit} feeds these
+    automatically, one timer per span name. *)
+module Timer : sig
+  val add : string -> wall:float -> cpu:float -> unit
+
+  val time : string -> (unit -> 'a) -> 'a
+  (** Run the thunk and accumulate its duration (also on exception). *)
+
+  val find : string -> (float * float * int) option
+  (** [(wall_s, cpu_s, count)]. *)
+
+  val all : unit -> (string * (float * float * int)) list
+end
+
+(** The event trace: a bounded ring buffer of span enters/exits and
+    point events, timestamped against the last {!reset}. *)
+module Trace : sig
+  type kind = Enter | Exit | Point
+
+  type event = {
+    seq : int;  (** 0-based global sequence number *)
+    wall : float;  (** seconds since the last {!reset} *)
+    depth : int;  (** span-nesting depth at which the event occurred *)
+    kind : kind;
+    name : string;
+    detail : string;  (** free-form payload; [""] when absent *)
+    dur : float;  (** wall duration of the span; [0.] unless [Exit] *)
+  }
+
+  val set_capacity : int -> unit
+  (** Resize the ring buffer (dropping recorded events). The default
+      capacity is 4096 events; the minimum is 16. *)
+
+  val capacity : unit -> int
+
+  val recorded : unit -> int
+  (** Total events recorded since the last {!reset} — may exceed
+      {!capacity}, in which case the oldest were overwritten. *)
+
+  val events : unit -> event list
+  (** The retained window, oldest first. *)
+
+  val point : ?detail:string -> string -> unit
+  (** Record an instantaneous event at the current span depth. *)
+
+  val set_sink : (event -> unit) option -> unit
+  (** Mirror every recorded event to a callback (in addition to the
+      ring buffer). The sink must not call back into [Obs]. *)
+
+  val to_json : unit -> string
+  (** The retained window as a JSON object:
+      [{"recorded":N,"capacity":C,"dropped":D,"events":[...]}]. *)
+end
+
+(** Scoped spans. [enter] pushes a frame; [exit] pops it, emitting an
+    [Exit] trace event and accumulating the duration into the timer of
+    the same name. Exiting a span that still has open children closes
+    the children first (so an exception that abandons inner spans
+    cannot corrupt the nesting); exiting a token that is no longer on
+    the stack is a no-op. *)
+module Span : sig
+  type t
+
+  val enter : string -> t
+  val exit : t -> unit
+
+  val with_ : string -> (unit -> 'a) -> 'a
+  (** [enter]/[exit] around the thunk, exception-safe. *)
+
+  val depth : unit -> int
+end
+
+(** Snapshots of everything above. *)
+module Stats : sig
+  val snapshot_json : unit -> Json.t
+
+  val snapshot : unit -> string
+  (** The full state as a JSON object:
+      {[ { "enabled": bool,
+           "counters": { name: int, ... },
+           "gauges": { name: int, ... },
+           "timers": { name: {"wall_s","cpu_s","count"}, ... },
+           "derived": { "bdd_cache_hit_rate": float,
+                        "bdd_unique_hit_rate": float },
+           "trace": { "recorded": int, "capacity": int } } ]}
+      The derived rates are quotients of the [bdd.cache.*] and
+      [bdd.unique.*] counters maintained by [Bdd.Manager] ([0.0] when
+      the denominators are zero, e.g. in a non-BDD process). *)
+end

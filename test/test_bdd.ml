@@ -67,16 +67,9 @@ let rec formula_print = function
 let formula_arb nvars =
   QCheck.make ~print:formula_print (formula_gen nvars)
 
-let nvars = 5
-
-let fresh_man () =
-  let m = M.create () in
-  ignore (M.new_vars m nvars : int list);
-  m
-
-(* iterate all assignments of [nvars] booleans *)
-let all_envs () =
-  List.init (1 lsl nvars) (fun bits v -> bits land (1 lsl v) <> 0)
+let nvars = Helpers.default_nvars
+let fresh_man () = Helpers.fresh_man ~nvars ()
+let all_envs () = Helpers.all_envs ~nvars ()
 
 let semantics_agree m f bdd =
   List.for_all
@@ -316,6 +309,51 @@ let test_serialize_into_fresh_manager () =
       (all_envs ())
   | _ -> Alcotest.fail "wrong root count"
 
+let test_serialize_import_names () =
+  (* dump from a manager with named vars, reload into a manager that has NO
+     variables yet: [import_names] must allocate them and restore names *)
+  let m = M.create () in
+  let a = M.new_var ~name:"alpha" m in
+  let b = M.new_var ~name:"beta" m in
+  let _c = M.new_var ~name:"gamma two" m in
+  let f = O.bxor m (O.var_bdd m a) (O.band m (O.var_bdd m b) (O.nvar_bdd m a)) in
+  let text = Bdd.Serialize.dump m [ f ] in
+  let m2 = M.create () in
+  match Bdd.Serialize.load m2 ~import_names:true text with
+  | [ f2 ] ->
+    Alcotest.(check int) "all vars allocated" (M.num_vars m) (M.num_vars m2);
+    List.iteri
+      (fun v name ->
+        Alcotest.(check string) "name restored" name (M.var_name m2 v))
+      [ "alpha"; "beta"; "gamma two" ];
+    Helpers.check_same_function ~nvars:3 "same function" m f m2 f2
+  | _ -> Alcotest.fail "wrong root count"
+
+let test_serialize_rejects_corrupt () =
+  let check_failure what text =
+    let m = fresh_man () in
+    match Bdd.Serialize.load m text with
+    | _ -> Alcotest.fail (what ^ ": expected Failure")
+    | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: message %S is descriptive" what msg)
+        true
+        (Helpers.contains "Serialize.load" msg)
+  in
+  check_failure "non-integer field" "bdd 5 1\nnode 2 0 zero 1\nroots 2\n";
+  check_failure "undefined node id" "bdd 5 1\nnode 2 0 0 9\nroots 2\n";
+  check_failure "undefined root id" "bdd 5 1\nroots 7\n";
+  check_failure "variable out of range" "bdd 5 1\nnode 2 99 0 1\nroots 2\n";
+  check_failure "unrecognized line" "bdd 5 1\nwat is this\nroots 1\n";
+  check_failure "missing roots" "bdd 5 1\nnode 2 0 0 1\n";
+  (* the negative-index case only triggers under import_names *)
+  let m = M.create () in
+  match
+    Bdd.Serialize.load m ~import_names:true "bdd 1 1\nvar -3 oops\nroots 1\n"
+  with
+  | _ -> Alcotest.fail "negative var: expected Failure"
+  | exception Failure _ -> ()
+
 let test_migrate_preserves_semantics () =
   let m = fresh_man () in
   let f = fbuild m (F_ite (F_var 1, F_var 3, F_xor (F_var 0, F_var 4))) in
@@ -551,6 +589,10 @@ let () =
             test_serialize_roundtrip;
           Alcotest.test_case "serialize across managers" `Quick
             test_serialize_into_fresh_manager;
+          Alcotest.test_case "serialize imports names" `Quick
+            test_serialize_import_names;
+          Alcotest.test_case "serialize rejects corrupt input" `Quick
+            test_serialize_rejects_corrupt;
           Alcotest.test_case "migrate semantics" `Quick
             test_migrate_preserves_semantics;
           Alcotest.test_case "force order" `Quick

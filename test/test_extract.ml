@@ -17,10 +17,7 @@ let instances () =
     ("rnd", G.random_logic ~seed:3 ~inputs:3 ~outputs:2 ~latches:5 ~levels:3 (),
      [ "x3"; "x4" ]) ]
 
-let csf_of net x_latches =
-  let sp, p = E.Split.problem net ~x_latches in
-  let solution, _ = E.Partitioned.solve p in
-  (sp, p, E.Csf.csf p solution)
+let csf_of = Helpers.csf_of
 
 (* --- Machine ------------------------------------------------------------------ *)
 

@@ -8,18 +8,7 @@ module H = Harness.Experiments
 
 (* --- Subset.split_successors ------------------------------------------------- *)
 
-let random_bdd man nvars rng =
-  let rec go depth =
-    if depth = 0 then
-      let v = Random.State.int rng nvars in
-      if Random.State.bool rng then O.var_bdd man v else O.nvar_bdd man v
-    else
-      match Random.State.int rng 3 with
-      | 0 -> O.band man (go (depth - 1)) (go (depth - 1))
-      | 1 -> O.bor man (go (depth - 1)) (go (depth - 1))
-      | _ -> O.bxor man (go (depth - 1)) (go (depth - 1))
-  in
-  go 3
+let random_bdd = Helpers.random_bdd ~depth:3
 
 let test_split_successors_properties () =
   let rng = Random.State.make [| 77 |] in
@@ -86,6 +75,19 @@ let test_split_successors_single () =
   | other ->
     Alcotest.fail (Printf.sprintf "expected one split, got %d" (List.length other))
 
+(* Regression: an alphabet variable occurring in the next-state cube makes
+   every guard empty (the relation is never constant on a symbol class);
+   this used to die in an [assert false] and now raises a descriptive
+   [Invalid_argument] naming the offending symbol. *)
+let test_split_successors_overlap_rejected () =
+  let man = M.create () in
+  ignore (M.new_vars man 1 : int list);
+  M.set_var_name man 0 "a";
+  let p = O.var_bdd man 0 in
+  let ns_cube = O.cube_of_vars man [ 0 ] in
+  Helpers.check_invalid_arg "alphabet/ns overlap" "a=0" (fun () ->
+      E.Subset.split_successors man ~p ~alphabet:[ 0 ] ~ns_cube)
+
 (* --- Harness ------------------------------------------------------------------ *)
 
 let test_run_row_completes () =
@@ -135,11 +137,7 @@ let test_print_table1_format () =
                 attempts = [] } } }
   in
   let out = Format.asprintf "%a" H.print_table1 [ r; cnc ] in
-  let contains needle haystack =
-    let n = String.length needle and h = String.length haystack in
-    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
-    go 0
-  in
+  let contains = Helpers.contains in
   List.iter
     (fun col ->
       Alcotest.(check bool) (col ^ " column present") true (contains col out))
@@ -153,7 +151,9 @@ let () =
         [ Alcotest.test_case "properties" `Quick
             test_split_successors_properties;
           Alcotest.test_case "empty" `Quick test_split_successors_empty;
-          Alcotest.test_case "single" `Quick test_split_successors_single ] );
+          Alcotest.test_case "single" `Quick test_split_successors_single;
+          Alcotest.test_case "alphabet/ns overlap rejected" `Quick
+            test_split_successors_overlap_rejected ] );
       ( "experiments",
         [ Alcotest.test_case "run row" `Quick test_run_row_completes;
           Alcotest.test_case "cnc row" `Quick test_run_row_cnc;

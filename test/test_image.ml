@@ -11,19 +11,7 @@ module I = Img.Image
 module R = Img.Reach
 module S = Network.Symbolic
 
-(* random small formulas over n vars, reused from the BDD tests' idea *)
-let random_bdd man nvars rng =
-  let rec go depth =
-    if depth = 0 then
-      let v = Random.State.int rng nvars in
-      if Random.State.bool rng then O.var_bdd man v else O.nvar_bdd man v
-    else
-      match Random.State.int rng 3 with
-      | 0 -> O.band man (go (depth - 1)) (go (depth - 1))
-      | 1 -> O.bor man (go (depth - 1)) (go (depth - 1))
-      | _ -> O.bxor man (go (depth - 1)) (go (depth - 1))
-  in
-  go 3
+let random_bdd = Helpers.random_bdd ~depth:3
 
 let test_and_exists_agrees () =
   let rng = Random.State.make [| 11 |] in
