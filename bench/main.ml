@@ -194,22 +194,31 @@ let ablation_quantification () =
       Test.make ~name:"partitioned, declaration order"
         (Staged.stage (bench (Img.Image.Partitioned Img.Quantify.Given)));
       Test.make ~name:"partitioned, greedy schedule"
-        (Staged.stage (bench (Img.Image.Partitioned Img.Quantify.Greedy))) ]
+        (Staged.stage (bench (Img.Image.Partitioned Img.Quantify.Greedy)));
+      Test.make ~name:"partitioned, static lifetime schedule"
+        (Staged.stage (bench (Img.Image.Partitioned Img.Quantify.Lifetime))) ]
 
 let ablation_clustering () =
   let row = Circuits.Suite.find "t298" in
-  let bench threshold () =
+  let bench clustering () =
     let _, p =
       Equation.Split.problem row.Circuits.Suite.net
         ~x_latches:row.Circuits.Suite.x_latches
     in
-    ignore (Equation.Partitioned.solve ~cluster_threshold:threshold p)
+    ignore (Equation.Partitioned.solve ~clustering p)
   in
-  run_group "ablation: partition clustering threshold (t298)"
-    [ Test.make ~name:"1 (fully partitioned)" (Staged.stage (bench 1));
-      Test.make ~name:"100 nodes" (Staged.stage (bench 100));
-      Test.make ~name:"1000 nodes" (Staged.stage (bench 1000));
-      Test.make ~name:"10000 nodes" (Staged.stage (bench 10000)) ]
+  let adj t = Img.Partition.Adjacent t and aff t = Img.Partition.Affinity t in
+  run_group "ablation: partition clustering (t298)"
+    [ Test.make ~name:"fully partitioned"
+        (Staged.stage (bench Img.Partition.No_clustering));
+      Test.make ~name:"adjacent, 100 nodes" (Staged.stage (bench (adj 100)));
+      Test.make ~name:"adjacent, 1000 nodes" (Staged.stage (bench (adj 1000)));
+      Test.make ~name:"adjacent, 10000 nodes"
+        (Staged.stage (bench (adj 10000)));
+      Test.make ~name:"affinity, 100 nodes" (Staged.stage (bench (aff 100)));
+      Test.make ~name:"affinity, 500 nodes (default)"
+        (Staged.stage (bench (aff 500)));
+      Test.make ~name:"affinity, 1000 nodes" (Staged.stage (bench (aff 1000))) ]
 
 let ablation_q_mode () =
   let row = Circuits.Suite.find "t298" in

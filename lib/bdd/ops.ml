@@ -106,6 +106,7 @@ let rec and_exists m cube f g =
   else if f = M.one && g = M.one then M.one
   else if f = M.one then exists m cube g
   else if g = M.one then exists m cube f
+  else if f = g then exists m cube f
   else if cube = M.one then band m f g
   else begin
     let top = min (M.var m f) (M.var m g) in

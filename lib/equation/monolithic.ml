@@ -91,6 +91,7 @@ let solve ?runtime (p : Problem.t) =
   let initial =
     intern (O.band man (Problem.initial_cube p) (O.bnot man d))
   in
+  let split_memo = Subset.memo_table () in
   let edges_acc = ref [] in
   let dca = -2 in
   let used_dca = ref false in
@@ -111,7 +112,8 @@ let solve ?runtime (p : Problem.t) =
       (fun (guard, succ_ns) ->
         let zeta' = O.rename man succ_ns rename_pairs in
         edges_acc := (k, guard, intern zeta') :: !edges_acc)
-      (Subset.split_successors ?runtime man ~p:p_rel ~alphabet ~ns_cube);
+      (Subset.split_successors ?runtime ~memo:split_memo man ~p:p_rel
+         ~alphabet ~ns_cube);
     let to_dca = O.bnot man domain in
     if to_dca <> M.zero then begin
       used_dca := true;

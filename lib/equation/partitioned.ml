@@ -12,8 +12,15 @@ type q_mode = Per_output | Combined
 let c_expanded = Obs.Counter.make "subset.states_expanded"
 let c_image = Obs.Counter.make "image.calls"
 
+(* Bench ablation: adjacent clustering at thresholds 1/100/1000/10000 gives
+   145/59/63/91 ms on t298 — the sweet spot is a few hundred nodes. The
+   affinity variant keeps the same threshold but merges by support overlap
+   instead of list adjacency. *)
+let default_clustering = Img.Partition.Affinity 500
+
 let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
-    ?(q_mode = Combined) ?(cluster_threshold = 1) ?on_state (p : Problem.t) =
+    ?(q_mode = Combined) ?(clustering = default_clustering) ?on_state
+    (p : Problem.t) =
   let notify k = match on_state with Some f -> f k | None -> () in
   let enter ph = Option.iter (fun rt -> Runtime.enter_phase rt ph) runtime in
   let tick = Runtime.ticker runtime in
@@ -24,9 +31,7 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
   let alphabet = Problem.alphabet p in
   let ns_cube = O.cube_of_vars man (Problem.next_state_vars p) in
   let cluster parts =
-    (Img.Partition.cluster
-       (Img.Partition.of_relations man parts)
-       ~threshold:cluster_threshold)
+    (Img.Partition.apply (Img.Partition.of_relations man parts) clustering)
       .Img.Partition.parts
   in
   let urel = cluster (Problem.u_relation_parts p) in
@@ -79,6 +84,7 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
       k
   in
   let initial = intern (Problem.initial_cube p) in
+  let split_memo = Subset.memo_table () in
   let edges_acc = ref [] in
   (* sink ids are assigned after the construction, when the number of subset
      states is known; use negative placeholders meanwhile *)
@@ -99,7 +105,8 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
       (fun (guard, succ_ns) ->
         let zeta' = O.rename man succ_ns (Problem.ns_to_cs p) in
         edges_acc := (k, guard, intern zeta') :: !edges_acc)
-      (Subset.split_successors ?runtime man ~p:p_rel ~alphabet ~ns_cube);
+      (Subset.split_successors ?runtime ~memo:split_memo man ~p:p_rel
+         ~alphabet ~ns_cube);
     if q <> M.zero then begin
       used_dcn := true;
       edges_acc := (k, q, dcn) :: !edges_acc

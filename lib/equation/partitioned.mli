@@ -32,11 +32,15 @@ type q_mode =
       (** disjoin the per-output non-conformance conditions once and run a
           single image per subset state (default; same result) *)
 
+val default_clustering : Img.Partition.clustering
+(** [Affinity 500] — affinity-based clustering under a 500-node threshold,
+    the bench-ablated sweet spot (see EXPERIMENTS.md). *)
+
 val solve :
   ?runtime:Runtime.t ->
   ?strategy:Img.Image.strategy ->
   ?q_mode:q_mode ->
-  ?cluster_threshold:int ->
+  ?clustering:Img.Partition.clustering ->
   ?on_state:(int -> unit) ->
   Problem.t ->
   Fsa.Automaton.t * stats
@@ -44,7 +48,8 @@ val solve :
     (relation clustering) and [Subset] phases: {!Budget.Exceeded} is raised
     past the deadline and {!Bdd.Manager.Node_limit_exceeded} past the node
     budget (or at an injected fault), with partial progress recorded on the
-    runtime. [cluster_threshold] conjoins adjacent relation parts up to that
-    BDD size before the subset construction (1 = fully partitioned).
+    runtime. [clustering] (default {!default_clustering}) pre-clusters the
+    relation parts before the subset construction;
+    [Img.Partition.No_clustering] keeps one conjunct per latch/output.
     [on_state] is a progress callback invoked with each subset state index
     as it is expanded. *)

@@ -107,6 +107,14 @@ val note_subset_states : t -> int -> unit
 val subset_states : t -> int
 (** Subset states recorded since the last {!attach}. *)
 
+val note_kernel : t -> string -> unit
+(** Record which image-kernel configuration (clustering + quantification
+    schedule) the current attempt runs with — e.g. ["affinity:500/greedy"];
+    emitted as a trace point and reported with failed attempts. *)
+
+val kernel : t -> string
+(** The last {!note_kernel} value ([""] before the first attempt). *)
+
 val images : t -> int
 (** Image computations since the last {!attach}. *)
 

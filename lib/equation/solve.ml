@@ -10,6 +10,8 @@ let method_label = function
     "partitioned/given"
   | Partitioned (Img.Image.Partitioned Img.Quantify.Greedy) ->
     "partitioned/greedy"
+  | Partitioned (Img.Image.Partitioned Img.Quantify.Lifetime) ->
+    "partitioned/lifetime"
   | Monolithic -> "monolithic"
 
 (* rung 2 of the ladder: the other early-quantification schedule *)
@@ -17,11 +19,34 @@ let alternative_strategy = function
   | Img.Image.Partitioned Img.Quantify.Greedy ->
     Img.Image.Partitioned Img.Quantify.Given
   | Img.Image.Partitioned Img.Quantify.Given
+  | Img.Image.Partitioned Img.Quantify.Lifetime
   | Img.Image.Monolithic ->
     Img.Image.Partitioned Img.Quantify.Greedy
 
+(* the same rung also flips the kernel between clustered and unclustered:
+   a clustering that blew up is replaced by the fully-partitioned kernel,
+   and vice versa *)
+let alternative_clustering = function
+  | Img.Partition.No_clustering -> Partitioned.default_clustering
+  | Img.Partition.Adjacent _ | Img.Partition.Affinity _ ->
+    Img.Partition.No_clustering
+
+let kernel_desc method_ clustering =
+  match method_ with
+  | Monolithic -> "monolithic-relation"
+  | Partitioned strategy ->
+    let schedule =
+      match strategy with
+      | Img.Image.Monolithic -> "mono-image"
+      | Img.Image.Partitioned Img.Quantify.Given -> "given"
+      | Img.Image.Partitioned Img.Quantify.Greedy -> "greedy"
+      | Img.Image.Partitioned Img.Quantify.Lifetime -> "lifetime"
+    in
+    Img.Partition.describe_clustering clustering ^ "/" ^ schedule
+
 type attempt = {
   label : string;
+  kernel : string;
   phase : Runtime.phase;
   subset_states : int;
   peak_nodes : int;
@@ -60,27 +85,38 @@ type outcome =
 
 (* One step of the degradation ladder. [Fresh] rebuilds the problem from
    scratch in a new manager; [Reorder_retry] migrates the previous
-   (failed) attempt's problem into a FORCE-reordered fresh manager. *)
-type step = Fresh of method_ | Reorder_retry of Img.Image.strategy
+   (failed) attempt's problem into a FORCE-reordered fresh manager. Every
+   step carries the partition clustering its kernel runs with. *)
+type step =
+  | Fresh of method_ * Img.Partition.clustering
+  | Reorder_retry of Img.Image.strategy * Img.Partition.clustering
 
 let step_label = function
-  | Fresh m -> method_label m
+  | Fresh (m, _) -> method_label m
   | Reorder_retry _ -> "reorder-retry"
 
-let ladder ~method_ ~retries ~fallback =
+let step_kernel = function
+  | Fresh (m, clustering) -> kernel_desc m clustering
+  | Reorder_retry (strategy, clustering) ->
+    kernel_desc (Partitioned strategy) clustering
+
+let ladder ~method_ ~clustering ~retries ~fallback =
   match method_ with
-  | Monolithic -> [ Fresh Monolithic ]
+  | Monolithic -> [ Fresh (Monolithic, Img.Partition.No_clustering) ]
   | Partitioned strategy ->
-    (Fresh (Partitioned strategy)
-     :: List.init (max 0 retries) (fun _ -> Reorder_retry strategy))
+    (Fresh (Partitioned strategy, clustering)
+     :: List.init (max 0 retries) (fun _ -> Reorder_retry (strategy, clustering)))
     @
     if fallback then
-      [ Fresh (Partitioned (alternative_strategy strategy));
-        Fresh Monolithic ]
+      [ Fresh
+          ( Partitioned (alternative_strategy strategy),
+            alternative_clustering clustering );
+        Fresh (Monolithic, Img.Partition.No_clustering) ]
     else []
 
 let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
-    ?fault ~method_ net ~x_latches =
+    ?(clustering = Partitioned.default_clustering) ?fault ~method_ net
+    ~x_latches =
   let start = Sys.time () in
   let deadline = Option.map (fun limit -> start +. limit) time_limit in
   let fault =
@@ -92,33 +128,37 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
   let current_man = ref None in
   let last = ref None in
   (* one attempt = problem setup + solve + CSF extraction *)
-  let solve_with p = function
+  let solve_with p clustering = function
     | Partitioned strategy ->
-      let solution, stats = Partitioned.solve ~runtime:rt ~strategy p in
+      let solution, stats =
+        Partitioned.solve ~runtime:rt ~strategy ~clustering p
+      in
       (solution, stats.Partitioned.subset_states)
     | Monolithic ->
       let solution, stats = Monolithic.solve ~runtime:rt p in
       (solution, stats.Monolithic.subset_states)
   in
-  let finish (sp, p) method_ =
-    let solution, subset_states = solve_with p method_ in
+  let finish (sp, p) method_ clustering =
+    let solution, subset_states = solve_with p clustering method_ in
     let csf = Csf.csf ~runtime:rt p solution in
     (sp, p, solution, csf, subset_states)
   in
-  let rec run_step = function
-    | Fresh m ->
+  let rec run_step step =
+    Runtime.note_kernel rt (step_kernel step);
+    match step with
+    | Fresh (m, clustering) ->
       let man = M.create () in
       current_man := Some man;
       Runtime.attach rt man;
       Runtime.enter_phase rt Runtime.Build;
       let sp, p = Split.problem ~man net ~x_latches in
       last := Some (sp, p);
-      finish (sp, p) m
-    | Reorder_retry strategy when !last = None ->
+      finish (sp, p) m clustering
+    | Reorder_retry (strategy, clustering) when !last = None ->
       (* the failed attempt died while still constructing the problem:
          there is nothing to migrate, so retry from scratch *)
-      run_step (Fresh (Partitioned strategy))
-    | Reorder_retry strategy ->
+      run_step (Fresh (Partitioned strategy, clustering))
+    | Reorder_retry (strategy, clustering) ->
       let sp, prev = Option.get !last in
       (* rung 1: drop the stale operation caches, migrate to a reordered
          fresh manager, and retry the partitioned strategy with the
@@ -130,7 +170,7 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
       current_man := Some p.Problem.man;
       Runtime.attach rt p.Problem.man;
       Runtime.enter_phase rt Runtime.Build;
-      finish (sp, p) (Partitioned strategy)
+      finish (sp, p) (Partitioned strategy) clustering
   in
   let record label t0 failure =
     (* flush partial stats of the failed attempt into the trace, so a
@@ -143,6 +183,7 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
       "solve.attempt_failed";
     attempts :=
       { label;
+        kernel = Runtime.kernel rt;
         phase = Runtime.phase rt;
         subset_states = Runtime.subset_states rt;
         peak_nodes =
@@ -203,7 +244,8 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
         record label t0 "time limit exceeded";
         cnc "time limit exceeded")
   in
-  Obs.Span.with_ "solve" (fun () -> descend (ladder ~method_ ~retries ~fallback))
+  Obs.Span.with_ "solve" (fun () ->
+      descend (ladder ~method_ ~clustering ~retries ~fallback))
 
 let verify ?runtime r =
   ( Verify.particular_contained ?runtime r.problem r.split r.csf,

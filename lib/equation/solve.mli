@@ -32,6 +32,10 @@ val method_label : method_ -> string
 (** One failed solve attempt, oldest first in the histories below. *)
 type attempt = {
   label : string;  (** which rung: {!method_label} or ["reorder-retry"] *)
+  kernel : string;
+      (** image-kernel configuration of the rung — clustering and
+          quantification schedule, e.g. ["affinity:500/greedy"],
+          ["unclustered/given"] or ["monolithic-relation"] *)
   phase : Runtime.phase;  (** phase reached when the attempt failed *)
   subset_states : int;  (** subset states explored before the failure *)
   peak_nodes : int;  (** the attempt's manager node count at failure *)
@@ -77,6 +81,7 @@ val solve_split :
   ?time_limit:float ->
   ?retries:int ->
   ?fallback:bool ->
+  ?clustering:Img.Partition.clustering ->
   ?fault:Runtime.Fault.t ->
   method_:method_ ->
   Network.Netlist.t ->
@@ -86,9 +91,13 @@ val solve_split :
     [time_limit] is CPU seconds for the whole computation, across all
     attempts. [retries] (default 1) bounds the reorder-and-retry rung;
     [fallback:false] disables the method-degradation rungs (alternative
-    schedule, monolithic). [fault] injects a deterministic fault for
-    testing; when omitted, the [LESOLVE_FAULT] environment variable is
-    consulted ({!Runtime.Fault.from_env}). *)
+    schedule, monolithic). [clustering] (default
+    {!Partitioned.default_clustering}) selects the partition clustering of
+    the first rungs; the alternative-schedule rung flips it between
+    clustered and unclustered, so a clustering that blows up is retried
+    fully partitioned (and vice versa). [fault] injects a deterministic
+    fault for testing; when omitted, the [LESOLVE_FAULT] environment
+    variable is consulted ({!Runtime.Fault.from_env}). *)
 
 val verify : ?runtime:Runtime.t -> report -> bool * bool
 (** [(particular_contained, composition_equals_spec)] for a completed run.

@@ -3,6 +3,16 @@ module O = Bdd.Ops
 
 let c_calls = Obs.Counter.make "subset.split_calls"
 let c_arcs = Obs.Counter.make "subset.arcs"
+let c_memo_hits = Obs.Counter.make "subset.split_memo_hits"
+
+(* Distinct subset states often induce the same successor relation [P_ζ]
+   (canonical BDDs make the coincidence detectable by id equality), so the
+   enumeration below is memoized per solve on the canonical id of [p]. The
+   table belongs to one manager and one [ns_cube]; callers create one table
+   per construction. *)
+type memo = (int, (int * int) list) Hashtbl.t
+
+let memo_table () : memo = Hashtbl.create 64
 
 let describe_symbol man lits =
   String.concat " "
@@ -11,8 +21,15 @@ let describe_symbol man lits =
          Printf.sprintf "%s=%d" (M.var_name man v) (if b then 1 else 0))
        lits)
 
-let split_successors ?runtime man ~p ~alphabet ~ns_cube =
+let split_successors ?runtime ?memo man ~p ~alphabet ~ns_cube =
   if !Obs.on then Obs.Counter.bump c_calls;
+  match
+    match memo with None -> None | Some tbl -> Hashtbl.find_opt tbl p
+  with
+  | Some arcs ->
+    if !Obs.on then Obs.Counter.bump c_memo_hits;
+    arcs
+  | None ->
   let tick = Runtime.ticker runtime in
   let rec go domain acc =
     if domain = M.zero then acc
@@ -43,4 +60,6 @@ let split_successors ?runtime man ~p ~alphabet ~ns_cube =
       go (O.bdiff man domain guard) ((guard, successor) :: acc)
     end
   in
-  go (O.exists man ns_cube p) []
+  let arcs = go (O.exists man ns_cube p) [] in
+  Option.iter (fun tbl -> Hashtbl.replace tbl p arcs) memo;
+  arcs

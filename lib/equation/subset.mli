@@ -3,8 +3,18 @@
     variables), enumerate the distinct successor subset states and the guard
     under which each is reached. *)
 
+type memo
+(** A per-construction successor-splitting cache, keyed on the canonical BDD
+    id of [p]: distinct subset states frequently share a successor relation,
+    and a memo hit skips the whole enumeration (every image-splitting BDD
+    operation). A table is only valid for a single manager and a single
+    [ns_cube]. *)
+
+val memo_table : unit -> memo
+
 val split_successors :
   ?runtime:Runtime.t ->
+  ?memo:memo ->
   Bdd.Manager.t ->
   p:int ->
   alphabet:int list ->

@@ -6,6 +6,10 @@ type method_stats = {
   peak_nodes : int;
   image_calls : int;
   cache_hit_rate : float;
+  and_exists_lookups : int;
+  and_exists_hits : int;
+  and_exists_hit_rate : float;
+  split_memo_hits : int;
   subset_states : int;
   completed : bool;
 }
@@ -29,13 +33,23 @@ let with_stats solve =
   let img0 = Obs.Counter.find "image.calls" in
   let hits0 = Obs.Counter.find "bdd.cache.hits" in
   let lookups0 = Obs.Counter.find "bdd.cache.lookups" in
+  let ae_hits0 = Obs.Counter.find "bdd.cache.hits.and_exists" in
+  let ae_lookups0 = Obs.Counter.find "bdd.cache.lookups.and_exists" in
+  let memo0 = Obs.Counter.find "subset.split_memo_hits" in
   let outcome = solve () in
   let image_calls = Obs.Counter.find "image.calls" - img0 in
   let hits = Obs.Counter.find "bdd.cache.hits" - hits0 in
   let lookups = Obs.Counter.find "bdd.cache.lookups" - lookups0 in
-  let cache_hit_rate =
+  let and_exists_hits = Obs.Counter.find "bdd.cache.hits.and_exists" - ae_hits0 in
+  let and_exists_lookups =
+    Obs.Counter.find "bdd.cache.lookups.and_exists" - ae_lookups0
+  in
+  let split_memo_hits = Obs.Counter.find "subset.split_memo_hits" - memo0 in
+  let rate hits lookups =
     if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
   in
+  let cache_hit_rate = rate hits lookups in
+  let and_exists_hit_rate = rate and_exists_hits and_exists_lookups in
   let time_s, peak_nodes, subset_states, completed =
     match outcome with
     | S.Completed r ->
@@ -47,7 +61,8 @@ let with_stats solve =
         false )
   in
   ( outcome,
-    { time_s; peak_nodes; image_calls; cache_hit_rate; subset_states;
+    { time_s; peak_nodes; image_calls; cache_hit_rate; and_exists_lookups;
+      and_exists_hits; and_exists_hit_rate; split_memo_hits; subset_states;
       completed } )
 
 let run_row ?(time_limit = default_time_limit)
@@ -107,8 +122,8 @@ let print_table1 fmt results =
 
 let describe_attempt (a : S.attempt) =
   Printf.sprintf
-    "%s failed in %s phase (%s; %d subset states, %d nodes, %.2fs)"
-    a.S.label
+    "%s [%s] failed in %s phase (%s; %d subset states, %d nodes, %.2fs)"
+    a.S.label a.S.kernel
     (R.phase_name a.S.phase)
     a.S.failure a.S.subset_states a.S.peak_nodes a.S.cpu_seconds
 
@@ -141,6 +156,10 @@ let method_stats_fields (s : method_stats) =
     ("peak_nodes", Obs.Json.Int s.peak_nodes);
     ("image_calls", Obs.Json.Int s.image_calls);
     ("cache_hit_rate", Obs.Json.Float s.cache_hit_rate);
+    ("and_exists_lookups", Obs.Json.Int s.and_exists_lookups);
+    ("and_exists_hits", Obs.Json.Int s.and_exists_hits);
+    ("and_exists_hit_rate", Obs.Json.Float s.and_exists_hit_rate);
+    ("split_memo_hits", Obs.Json.Int s.split_memo_hits);
     ("subset_states", Obs.Json.Int s.subset_states);
     ("completed", Obs.Json.Bool s.completed) ]
 

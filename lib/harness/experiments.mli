@@ -10,6 +10,14 @@ type method_stats = {
   cache_hit_rate : float;
       (** op-cache hit rate over the solve; [0.] when observability was
           disabled for the run *)
+  and_exists_lookups : int;
+      (** fused-kernel computed-cache lookups over the solve *)
+  and_exists_hits : int;
+  and_exists_hit_rate : float;
+      (** [and_exists_hits / and_exists_lookups]; [0.] when observability
+          was disabled *)
+  split_memo_hits : int;
+      (** successor-splitting memo hits ([Subset.split_memo_hits] delta) *)
   subset_states : int;
   completed : bool;  (** [false] when the outcome was CNC *)
 }
@@ -67,11 +75,13 @@ val bench_json :
   ?time_limit:float -> ?node_limit:int -> row_result list -> Obs.Json.t
 (** The machine-readable baseline: [{"suite":"table1", "time_limit_s":...,
     "node_limit":..., "circuits":[{"name":..., "time_s":..., "peak_nodes":...,
-    "image_calls":..., "cache_hit_rate":..., "subset_states":...,
-    "completed":..., "monolithic":{...}}]}]. Per-circuit fields describe the
-    partitioned flow; the nested ["monolithic"] object carries the same
-    fields for the monolithic flow. Image-call counts and cache rates are
-    populated only when observability was enabled during the run. *)
+    "image_calls":..., "cache_hit_rate":..., "and_exists_lookups":...,
+    "and_exists_hits":..., "and_exists_hit_rate":..., "split_memo_hits":...,
+    "subset_states":..., "completed":..., "monolithic":{...}}]}]. Per-circuit
+    fields describe the partitioned flow; the nested ["monolithic"] object
+    carries the same fields for the monolithic flow. Image-call counts and
+    cache rates are populated only when observability was enabled during the
+    run. *)
 
 val write_bench_json :
   ?time_limit:float -> ?node_limit:int -> string -> row_result list -> unit

@@ -5,11 +5,13 @@ let c_calls = Obs.Counter.make "image.calls"
 let c_sched_mono = Obs.Counter.make "image.schedule.monolithic"
 let c_sched_given = Obs.Counter.make "image.schedule.given"
 let c_sched_greedy = Obs.Counter.make "image.schedule.greedy"
+let c_sched_lifetime = Obs.Counter.make "image.schedule.lifetime"
 
 let c_schedule = function
   | Monolithic -> c_sched_mono
   | Partitioned Quantify.Given -> c_sched_given
   | Partitioned Quantify.Greedy -> c_sched_greedy
+  | Partitioned Quantify.Lifetime -> c_sched_lifetime
 
 let image strategy (p : Partition.t) ~quantify ~care =
   if !Obs.on then begin

@@ -18,6 +18,26 @@ val cluster : t -> threshold:int -> t
 (** Greedily conjoin consecutive parts while the BDD of the cluster stays
     under [threshold] nodes. [threshold <= 1] keeps the partition as is. *)
 
+val cluster_affinity : t -> threshold:int -> t
+(** Affinity-based clustering: repeatedly conjoin the pair of parts with the
+    highest support-overlap (Jaccard) affinity, accepting a merge only while
+    the cluster BDD stays under [threshold] nodes; rejected pairs are never
+    retried. Unlike {!cluster} this is order-independent — parts that track
+    the same variables merge even when they are not adjacent in the list.
+    [threshold <= 1] keeps the partition as is. *)
+
+(** How to pre-cluster a partition before image computations. *)
+type clustering =
+  | No_clustering  (** fully partitioned, one conjunct per latch/output *)
+  | Adjacent of int  (** {!cluster} under the given node threshold *)
+  | Affinity of int  (** {!cluster_affinity} under the given node threshold *)
+
+val apply : t -> clustering -> t
+
+val describe_clustering : clustering -> string
+(** ["unclustered"], ["adjacent:N"] or ["affinity:N"] — used in traces and
+    attempt reports. *)
+
 val monolithic : t -> int
 (** The full conjunction (the representation the paper avoids). *)
 

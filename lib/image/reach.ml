@@ -1,17 +1,17 @@
 module O = Bdd.Ops
 module S = Network.Symbolic
 
-let transition_partition ?(cluster_threshold = 1) (sym : S.t) =
+let transition_partition ?(clustering = Partition.No_clustering) (sym : S.t) =
   let p = Partition.of_functions sym.man (S.transition_parts sym) in
-  Partition.cluster p ~threshold:cluster_threshold
+  Partition.apply p clustering
 
 let step strategy sym parts care =
   Image.forward_image strategy parts ~inputs:sym.S.input_vars
     ~state_vars:sym.S.state_vars ~ns_to_cs:(S.ns_to_cs sym) ~care
 
 let reachable ?(strategy = Image.Partitioned Quantify.Greedy)
-    ?(cluster_threshold = 1) (sym : S.t) =
-  let parts = transition_partition ~cluster_threshold sym in
+    ?(clustering = Partition.No_clustering) (sym : S.t) =
+  let parts = transition_partition ~clustering sym in
   let rec fix r =
     let r' = O.bor sym.man r (step strategy sym parts r) in
     if r' = r then r else fix r'

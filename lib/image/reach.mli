@@ -5,7 +5,7 @@
 
 val reachable :
   ?strategy:Image.strategy ->
-  ?cluster_threshold:int ->
+  ?clustering:Partition.clustering ->
   Network.Symbolic.t ->
   int
 (** Set of reachable states, as a BDD over the network's current-state

@@ -382,6 +382,10 @@ module Stats = struct
           Json.Obj
             [ ( "bdd_cache_hit_rate",
                 Json.Float (ratio "bdd.cache.hits" "bdd.cache.lookups") );
+              ( "bdd_and_exists_hit_rate",
+                Json.Float
+                  (ratio "bdd.cache.hits.and_exists"
+                     "bdd.cache.lookups.and_exists") );
               ( "bdd_unique_hit_rate",
                 Json.Float (ratio "bdd.unique.hits" "bdd.mk_calls") ) ] );
         ( "trace",

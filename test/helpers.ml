@@ -33,6 +33,24 @@ let random_bdd ?(depth = 3) man nvars rng =
   in
   go depth
 
+(* a manager with two named alphabet variables a (0) and b (1) — the
+   standard fixture for hand-built automata *)
+let alphabet_man () =
+  let m = M.create () in
+  let a = M.new_var ~name:"a" m in
+  let b = M.new_var ~name:"b" m in
+  (m, a, b)
+
+(* simulate [steps] cycles of a netlist; returns the list of output
+   vectors, with [input_fn k] supplying the cycle-[k] inputs *)
+let sim_run net steps input_fn =
+  let module N = Network.Netlist in
+  let st = ref (N.initial_state net) in
+  List.init steps (fun k ->
+      let out, st' = N.step net !st (input_fn k) in
+      st := st';
+      out)
+
 (* split a netlist, solve with the partitioned flow, extract the CSF *)
 let csf_of net x_latches =
   let sp, p = Equation.Split.problem net ~x_latches in

@@ -12,11 +12,7 @@ module L = Fsa.Language
 (* --- fixtures ------------------------------------------------------------- *)
 
 (* A manager with two alphabet variables a (0) and b (1). *)
-let setup () =
-  let man = M.create () in
-  let a = M.new_var ~name:"a" man in
-  let b = M.new_var ~name:"b" man in
-  (man, a, b)
+let setup = Helpers.alphabet_man
 
 (* 2-state automaton: accepts words with an even number of symbols where
    a = 1 (over alphabet {a, b}); all states accepting = prefix-closed. *)

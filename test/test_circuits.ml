@@ -4,13 +4,7 @@
 module N = Network.Netlist
 module G = Circuits.Generators
 
-let run net steps input_fn =
-  (* simulate [steps] cycles; returns the list of output vectors *)
-  let st = ref (N.initial_state net) in
-  List.init steps (fun k ->
-      let out, st' = N.step net !st (input_fn k) in
-      st := st';
-      out)
+let run = Helpers.sim_run
 
 let test_counter_period () =
   let net = G.counter 3 in

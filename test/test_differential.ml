@@ -42,6 +42,29 @@ let mismatch p =
          (E.Csf.num_states csf_part) (E.Csf.num_states csf_mono))
   else None
 
+(* Same oracle for the kernel configurations: the clustered solvers
+   (adjacent and affinity, including the default) must produce a CSF
+   language-equivalent to the unclustered one. *)
+let mismatch_clustering p =
+  let _, prob = E.Split.problem (netlist p) ~x_latches:(x_latches p) in
+  let csf_with clustering =
+    let sol, _ = E.Partitioned.solve ~clustering prob in
+    E.Csf.csf prob sol
+  in
+  let reference = csf_with Img.Partition.No_clustering in
+  let check (name, clustering) =
+    let csf = csf_with clustering in
+    if not (Fsa.Language.equivalent reference csf) then
+      Some
+        (Printf.sprintf
+           "clustered CSF (%s) differs from unclustered (%d vs %d states)"
+           name (E.Csf.num_states csf) (E.Csf.num_states reference))
+    else None
+  in
+  List.find_map check
+    [ ("adjacent:200", Img.Partition.Adjacent 200);
+      ("affinity:500 (default)", E.Partitioned.default_clustering) ]
+
 (* Shrink a failing instance by dropping latches (3 is the floor: the X
    component always takes two). [failing] reports why an instance fails,
    or [None]; the returned instance still fails. *)
@@ -104,6 +127,18 @@ let test_flows_agree () =
   Alcotest.(check bool) "cache hits bounded by lookups" true
     (Obs.Counter.find "bdd.cache.hits" <= Obs.Counter.find "bdd.cache.lookups")
 
+let test_clusterings_agree () =
+  for i = 0 to n_instances - 1 do
+    let p = instance i in
+    match mismatch_clustering p with
+    | None -> ()
+    | Some msg ->
+      let p', msg' = shrink ~failing:mismatch_clustering p msg in
+      Alcotest.fail
+        (Printf.sprintf "kernels disagree on [%s]: %s (shrunk from [%s])"
+           (describe p') msg' (describe p))
+  done
+
 (* the shrinker must keep dropping latches while the failure persists,
    stop at the first non-failing size, and never go below the floor *)
 let test_shrinker () =
@@ -129,4 +164,8 @@ let () =
         [ Alcotest.test_case
             (Printf.sprintf "%d random netlists" n_instances)
             `Slow test_flows_agree;
-          Alcotest.test_case "shrinker" `Quick test_shrinker ] ) ]
+          Alcotest.test_case "shrinker" `Quick test_shrinker ] );
+      ( "clustered vs unclustered",
+        [ Alcotest.test_case
+            (Printf.sprintf "%d random netlists" n_instances)
+            `Slow test_clusterings_agree ] ) ]

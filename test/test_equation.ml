@@ -96,11 +96,9 @@ let test_split_composition_behaviour () =
 (* --- cross-validation of the three flows ----------------------------------- *)
 
 let flows_agree name net x_latches =
-  let sp, p = E.Split.problem net ~x_latches in
-  let sol_part, _ = E.Partitioned.solve p in
+  let sp, p, csf_part = Helpers.csf_of net x_latches in
   let sol_mono, _ = E.Monolithic.solve p in
   let sol_gen = E.Generic.solve p in
-  let csf_part = E.Csf.csf p sol_part in
   let csf_mono = E.Csf.csf p sol_mono in
   let csf_gen = E.Csf.csf p sol_gen in
   Alcotest.(check bool)
@@ -184,9 +182,7 @@ let test_verification_checks () =
 let test_verify_detects_wrong_solution () =
   (* the CSF of one instance is NOT a solution container for a different
      split: the containment check must fail *)
-  let sp1, p1 = E.Split.problem (G.counter 3) ~x_latches:[ "c0" ] in
-  let sol, _ = E.Partitioned.solve p1 in
-  let csf = E.Csf.csf p1 sol in
+  let sp1, p1, csf = Helpers.csf_of (G.counter 3) [ "c0" ] in
   (* corrupt: restrict the CSF by deleting all edges out of the initial
      state except one with a flipped guard *)
   let man = p1.E.Problem.man in
@@ -226,9 +222,7 @@ let test_solution_shape () =
 let test_csf_contains_more_than_xp () =
   (* flexibility: on most instances the CSF strictly contains the latch
      bank (that is the point of computing it) *)
-  let sp, p = E.Split.problem (G.counter 3) ~x_latches:[ "c1"; "c2" ] in
-  let sol, _ = E.Partitioned.solve p in
-  let csf = E.Csf.csf p sol in
+  let sp, p, csf = Helpers.csf_of (G.counter 3) [ "c1"; "c2" ] in
   let xp = E.Split.particular_solution p sp in
   Alcotest.(check bool) "xp ⊆ csf" true (L.subset xp csf);
   Alcotest.(check bool) "csf ⊄ xp (strict flexibility)" false
@@ -329,10 +323,8 @@ let prop_random_instances =
       let x_latches =
         List.init x_count (fun k -> Printf.sprintf "x%d" (latches - 1 - k))
       in
-      let sp, p = E.Split.problem net ~x_latches in
-      let sol_part, _ = E.Partitioned.solve p in
+      let sp, p, csf_part = Helpers.csf_of net x_latches in
       let sol_mono, _ = E.Monolithic.solve p in
-      let csf_part = E.Csf.csf p sol_part in
       let csf_mono = E.Csf.csf p sol_mono in
       let csf_gen = E.Csf.csf p (E.Generic.solve p) in
       L.equivalent csf_part csf_mono

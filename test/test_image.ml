@@ -25,7 +25,9 @@ let test_and_exists_agrees () =
     Alcotest.(check int) "greedy = monolithic" mono
       (Q.and_exists_list man ~order:Q.Greedy rels ~quantify);
     Alcotest.(check int) "given = monolithic" mono
-      (Q.and_exists_list man ~order:Q.Given rels ~quantify)
+      (Q.and_exists_list man ~order:Q.Given rels ~quantify);
+    Alcotest.(check int) "lifetime = monolithic" mono
+      (Q.and_exists_list man ~order:Q.Lifetime rels ~quantify)
   done
 
 let test_and_exists_empty_quantify () =
@@ -52,6 +54,19 @@ let test_forall_list () =
   Alcotest.(check int) "forall x0 (x0|x1) = x1" (O.var_bdd man 1)
     (Q.and_forall_list man [ f ] ~quantify:[ 0 ])
 
+let strategies =
+  [ ("monolithic", I.Monolithic);
+    ("partitioned-given", I.Partitioned Q.Given);
+    ("partitioned-greedy", I.Partitioned Q.Greedy);
+    ("partitioned-lifetime", I.Partitioned Q.Lifetime) ]
+
+let clusterings =
+  [ ("unclustered", P.No_clustering);
+    ("adjacent-25", P.Adjacent 25);
+    ("adjacent-200", P.Adjacent 200);
+    ("affinity-25", P.Affinity 25);
+    ("affinity-200", P.Affinity 200) ]
+
 let test_cluster_preserves_product () =
   let rng = Random.State.make [| 23 |] in
   for _ = 1 to 20 do
@@ -59,17 +74,50 @@ let test_cluster_preserves_product () =
     ignore (M.new_vars man 8 : int list);
     let parts = List.init 6 (fun _ -> random_bdd man 8 rng) in
     let p = P.of_relations man parts in
-    let clustered = P.cluster p ~threshold:25 in
-    Alcotest.(check int) "same product" (P.monolithic p)
-      (P.monolithic clustered);
-    Alcotest.(check bool) "no more parts than before" true
-      (List.length clustered.P.parts <= List.length p.P.parts)
+    List.iter
+      (fun (name, clustering) ->
+        let clustered = P.apply p clustering in
+        Alcotest.(check int)
+          (Printf.sprintf "%s: same product" name)
+          (P.monolithic p) (P.monolithic clustered);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: no more parts than before" name)
+          true
+          (List.length clustered.P.parts <= List.length p.P.parts))
+      clusterings
   done
 
-let strategies =
-  [ ("monolithic", I.Monolithic);
-    ("partitioned-given", I.Partitioned Q.Given);
-    ("partitioned-greedy", I.Partitioned Q.Greedy) ]
+(* The oracle the whole fused-kernel rewrite is checked against: for 50
+   seeded random partitions, the clustered image under every quantification
+   schedule must equal the naive unclustered computation (conjoin all parts,
+   then quantify). *)
+let test_clustered_image_oracle () =
+  let rng = Random.State.make [| 0xc105 |] in
+  for _ = 1 to 50 do
+    let man = M.create () in
+    let nvars = 10 in
+    ignore (M.new_vars man nvars : int list);
+    let parts = List.init 7 (fun _ -> random_bdd man nvars rng) in
+    let care = random_bdd man nvars rng in
+    let quantify = [ 0; 2; 4; 6; 8 ] in
+    let p = P.of_relations man parts in
+    let naive =
+      O.exists man
+        (O.cube_of_vars man quantify)
+        (O.band man care (P.monolithic p))
+    in
+    List.iter
+      (fun (cname, clustering) ->
+        let clustered = P.apply p clustering in
+        List.iter
+          (fun (sname, strategy) ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s/%s = naive" cname sname)
+              naive
+              (I.image strategy clustered ~quantify ~care))
+          strategies)
+      clusterings
+  done
 
 let test_image_strategies_agree () =
   let nets =
@@ -157,10 +205,14 @@ let test_reachable_strategies_agree () =
   let a = R.reachable ~strategy:I.Monolithic sym in
   let b = R.reachable ~strategy:(I.Partitioned Q.Greedy) sym in
   let c = R.reachable ~strategy:(I.Partitioned Q.Given) sym in
-  let d = R.reachable ~cluster_threshold:100 sym in
+  let d = R.reachable ~clustering:(P.Adjacent 100) sym in
+  let e = R.reachable ~clustering:(P.Affinity 100) sym in
+  let f = R.reachable ~strategy:(I.Partitioned Q.Lifetime) sym in
   Alcotest.(check int) "mono = greedy" a b;
   Alcotest.(check int) "mono = given" a c;
-  Alcotest.(check int) "mono = clustered" a d
+  Alcotest.(check int) "mono = adjacent-clustered" a d;
+  Alcotest.(check int) "mono = affinity-clustered" a e;
+  Alcotest.(check int) "mono = lifetime" a f
 
 let test_frontier_reachable () =
   let man = M.create () in
@@ -268,7 +320,9 @@ let () =
             test_and_exists_all_quantified;
           Alcotest.test_case "forall" `Quick test_forall_list ] );
       ( "partition",
-        [ Alcotest.test_case "clustering" `Quick test_cluster_preserves_product ] );
+        [ Alcotest.test_case "clustering" `Quick test_cluster_preserves_product;
+          Alcotest.test_case "clustered image oracle" `Quick
+            test_clustered_image_oracle ] );
       ( "image",
         [ Alcotest.test_case "strategies agree" `Quick
             test_image_strategies_agree;

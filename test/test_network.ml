@@ -340,11 +340,7 @@ let test_vcd_structure () =
   let net = Circuits.Generators.counter 2 in
   let trace = Network.Vcd.random_trace ~seed:4 net 10 in
   let vcd = Network.Vcd.of_trace net trace in
-  let contains needle =
-    let n = String.length needle and h = String.length vcd in
-    let rec go i = i + n <= h && (String.sub vcd i n = needle || go (i + 1)) in
-    go 0
-  in
+  let contains needle = Helpers.contains needle vcd in
   Alcotest.(check bool) "timescale" true (contains "$timescale 1ns $end");
   Alcotest.(check bool) "module scope" true (contains "$scope module counter2");
   Alcotest.(check bool) "declares en" true (contains " en $end");
