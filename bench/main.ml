@@ -283,6 +283,37 @@ let ablation_affinity () =
       Test.make ~name:"without affinity (u,v at the top; capped blow-up)"
         (Staged.stage (solve_with_affinity false)) ]
 
+let ablation_gc_threshold () =
+  (* the dead-ratio trigger of the mark-and-sweep collector: below the
+     threshold a full node store grows, at or above it the manager collects
+     in place. 0.0 collects on every full store (maximum sweeping, maximum
+     mark cost), 1.0 effectively never collects (grow-only, like --no-gc).
+     A tight node budget makes the collector load-bearing: runs that cannot
+     reclaim enough dead nodes hit the live-node limit and fail over to the
+     degradation ladder. *)
+  let row = Circuits.Suite.find "t298" in
+  let solve gc threshold () =
+    let _, p =
+      Equation.Split.problem row.Circuits.Suite.net
+        ~x_latches:row.Circuits.Suite.x_latches
+    in
+    let man = p.Equation.Problem.man in
+    Bdd.Manager.set_auto_gc man gc;
+    Bdd.Manager.set_gc_threshold man threshold;
+    Bdd.Manager.set_node_limit man (Some 200_000);
+    match Equation.Partitioned.solve p with
+    | _ -> ()
+    | exception Bdd.Manager.Node_limit_exceeded -> ()
+  in
+  run_group ~quota:10.0
+    "ablation: GC dead-ratio threshold (t298, 200k live-node cap)"
+    [ Test.make ~name:"gc off (grow-only)" (Staged.stage (solve false 0.25));
+      Test.make ~name:"threshold 0.05" (Staged.stage (solve true 0.05));
+      Test.make ~name:"threshold 0.25 (default)"
+        (Staged.stage (solve true 0.25));
+      Test.make ~name:"threshold 0.50" (Staged.stage (solve true 0.50));
+      Test.make ~name:"threshold 0.90" (Staged.stage (solve true 0.90)) ]
+
 let ablation_order () =
   (* with the monolithic image strategy the transition-relation BDD is
      actually built, so the variable order's effect is direct: interleaved
@@ -313,5 +344,6 @@ let () =
     ablation_q_mode ();
     ablation_completion ();
     ablation_affinity ();
+    ablation_gc_threshold ();
     ablation_order ()
   end

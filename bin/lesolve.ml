@@ -73,6 +73,13 @@ let no_fallback_arg =
   in
   Arg.(value & flag & info [ "no-fallback" ] ~doc)
 
+let no_gc_arg =
+  let doc =
+    "Disable BDD garbage collection: managers grow instead of collecting, \
+     and the ladder skips the gc-retry rung."
+  in
+  Arg.(value & flag & info [ "no-gc" ] ~doc)
+
 let load path = Network.Blif.parse_file path
 
 (* --- observability flags ---------------------------------------------------- *)
@@ -222,14 +229,15 @@ let solve_cmd =
     let doc = "Write the CSF in the .aut exchange format." in
     Arg.(value & opt (some string) None & info [ "aut" ] ~doc)
   in
-  let run path latches method_ time_limit node_limit retries no_fallback
+  let run path latches method_ time_limit node_limit retries no_fallback no_gc
       verify dot minimize aut stats trace =
     guard @@ fun () ->
     obs_setup ~stats ~trace;
     let net = load path in
     match
       E.Solve.solve_split ~node_limit ~time_limit ~retries
-        ~fallback:(not no_fallback) ~method_ net ~x_latches:latches
+        ~fallback:(not no_fallback) ~gc:(not no_gc) ~method_ net
+        ~x_latches:latches
     with
     | E.Solve.Could_not_complete { cpu_seconds; reason; progress } ->
       (* flush the partial counters of the failed attempts before exiting *)
@@ -275,8 +283,8 @@ let solve_cmd =
        ~doc:"Compute the complete sequential flexibility of a latch split")
     Term.(
       const run $ network_arg $ latches_arg $ method_arg $ time_limit_arg
-      $ node_limit_arg $ retries_arg $ no_fallback_arg $ verify_arg $ dot_arg
-      $ minimize_arg $ aut_arg $ stats_arg $ trace_arg)
+      $ node_limit_arg $ retries_arg $ no_fallback_arg $ no_gc_arg
+      $ verify_arg $ dot_arg $ minimize_arg $ aut_arg $ stats_arg $ trace_arg)
 
 (* --- resynth ----------------------------------------------------------------- *)
 

@@ -58,6 +58,8 @@ let tokens s =
   |> List.filter (fun t -> t <> "")
 
 let parse_string man ?vars text =
+  (* guards accumulate in [edges] before [make] pins them: build frozen *)
+  M.with_frozen man @@ fun () ->
   let lines =
     List.mapi (fun k l -> (k + 1, String.trim l)) (String.split_on_char '\n' text)
     |> List.filter_map (fun (k, l) ->

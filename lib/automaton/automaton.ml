@@ -15,6 +15,15 @@ type t = {
 let num_states t = Array.length t.accepting
 let state_name t s = t.names.(s)
 
+(* Pin every guard against garbage collection: automata outlive the
+   constructions that build them (solver phases run between constructing a
+   CSF and consuming it, and may collect in between), so guards are
+   protected for the manager's lifetime. Shared guards are pinned once per
+   automaton that carries them (protect is reference counted). *)
+let pin t =
+  Array.iter (List.iter (fun (g, _) -> M.protect t.man g)) t.edges;
+  t
+
 let make man ~alphabet ~initial ~accepting ~edges ?names () =
   let n = Array.length accepting in
   if Array.length edges <> n then
@@ -44,7 +53,7 @@ let make man ~alphabet ~initial ~accepting ~edges ?names () =
       a
     | None -> Array.init n (fun s -> Printf.sprintf "s%d" s)
   in
-  { man; alphabet; initial; accepting; edges; names }
+  pin { man; alphabet; initial; accepting; edges; names }
 
 let defined_guard t s =
   O.disj t.man (List.map fst t.edges.(s))

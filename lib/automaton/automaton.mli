@@ -34,6 +34,13 @@ val make :
 val num_states : t -> int
 val state_name : t -> state -> string
 
+val pin : t -> t
+(** Protect every transition guard against garbage collection (see
+    {!Bdd.Manager.protect}) and return the automaton. {!make} pins
+    automatically; operations that assemble records directly must pin
+    before exposing the result. Pins are never released — automata are
+    assumed to live as long as their manager. *)
+
 val defined_guard : t -> state -> int
 (** Disjunction of the outgoing guards of a state: the set of symbols on
     which the state's behaviour is defined. *)

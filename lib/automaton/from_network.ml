@@ -7,6 +7,8 @@ let of_netlist man ~input_vars ~output_vars (net : N.t) =
     invalid_arg "From_network.of_netlist: input variable count mismatch";
   if List.length output_vars <> N.num_outputs net then
     invalid_arg "From_network.of_netlist: output variable count mismatch";
+  (* guards accumulate in [edges] before [make] pins them: build frozen *)
+  Bdd.Manager.with_frozen man @@ fun () ->
   let states = N.reachable_states net in
   let index = Hashtbl.create 64 in
   List.iteri (fun k st -> Hashtbl.replace index st k) states;

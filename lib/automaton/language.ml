@@ -3,6 +3,8 @@ module O = Bdd.Ops
 module A = Automaton
 
 let accepts (t : A.t) word =
+  (* word cubes are caller-owned and unpinned: run frozen *)
+  M.with_frozen t.man @@ fun () ->
   let step states cube =
     List.sort_uniq compare
       (List.concat_map (fun s -> A.successors t s cube) states)
@@ -11,6 +13,7 @@ let accepts (t : A.t) word =
   List.exists (fun s -> t.accepting.(s)) final
 
 let symbols (t : A.t) =
+  M.with_frozen t.man @@ fun () ->
   let vars = t.alphabet in
   let n = List.length vars in
   if n > 16 then invalid_arg "Language.symbols: alphabet too large";
@@ -55,6 +58,8 @@ let prepare (a : A.t) (b : A.t) =
   (norm a, norm b)
 
 let find_mismatch bad (a : A.t) (b : A.t) =
+  (* the pair trace holds unpinned guard ids across further allocation *)
+  M.with_frozen a.man @@ fun () ->
   let a, b = prepare a b in
   let pairs, trace = product_pairs a b in
   let mismatch =

@@ -21,6 +21,8 @@ let signature man (t : A.t) class_of s =
    build the quotient with class representatives. *)
 let refine_quotient (t : A.t) =
   let man = t.A.man in
+  (* signatures hold merged guard ids in tables while still allocating *)
+  M.with_frozen man @@ fun () ->
   let n = A.num_states t in
   let class_of = Array.init n (fun s -> if t.accepting.(s) then 1 else 0) in
   let num_classes = ref 2 in

@@ -41,7 +41,12 @@ let trim (t : A.t) =
   go t.initial;
   remap t seen
 
+(* Operations below that create fresh guards run frozen (they hold guard
+   ids in plain lists and tables while still allocating) and pin the
+   result's guards before returning, so a later collection cannot sweep
+   them out from under the automaton. *)
 let normalize_edges (t : A.t) =
+  M.with_frozen t.man @@ fun () ->
   let merge outgoing =
     let by_dest = Hashtbl.create 8 in
     let order = ref [] in
@@ -55,9 +60,10 @@ let normalize_edges (t : A.t) =
       outgoing;
     List.rev_map (fun d -> (Hashtbl.find by_dest d, d)) !order
   in
-  { t with edges = Array.map merge t.edges }
+  A.pin { t with edges = Array.map merge t.edges }
 
 let complete ?(sink_name = "DC") (t : A.t) =
+  M.with_frozen t.man @@ fun () ->
   let n = A.num_states t in
   let undefined = Array.init n (fun s -> O.bnot t.man (A.defined_guard t s)) in
   if Array.for_all (fun u -> u = M.zero) undefined then t
@@ -74,7 +80,7 @@ let complete ?(sink_name = "DC") (t : A.t) =
            t.edges)
         [| [ (M.one, sink) ] |]
     in
-    { t with accepting; edges; names }
+    A.pin { t with accepting; edges; names }
   end
 
 let complement (t : A.t) =
@@ -101,6 +107,7 @@ let guard_classes man guards =
 
 let determinize (t : A.t) =
   let man = t.man in
+  M.with_frozen man @@ fun () ->
   let module Key = struct
     type t = int list (* sorted state set *)
   end in
@@ -158,11 +165,12 @@ let determinize (t : A.t) =
   in
   let edges = Array.make n [] in
   List.iter (fun (k, g, d) -> edges.(k) <- (g, d) :: edges.(k)) !edges_acc;
-  { t with initial; accepting; edges; names }
+  A.pin { t with initial; accepting; edges; names }
 
 let product_with ~accept (a : A.t) (b : A.t) =
   if a.man != b.man then invalid_arg "Ops.product: distinct managers";
   let man = a.man in
+  M.with_frozen man @@ fun () ->
   let alphabet = List.sort_uniq compare (a.alphabet @ b.alphabet) in
   let index = Hashtbl.create 64 in
   let rev_pairs = ref [] in
@@ -204,7 +212,7 @@ let product_with ~accept (a : A.t) (b : A.t) =
   in
   let edges = Array.make n [] in
   List.iter (fun (k, g, d) -> edges.(k) <- (g, d) :: edges.(k)) !edges_acc;
-  { A.man; alphabet; initial; accepting; edges; names }
+  A.pin { A.man; alphabet; initial; accepting; edges; names }
 
 let product = product_with ~accept:( && )
 
@@ -222,6 +230,7 @@ let difference a b = boolean_combination (fun x y -> x && not y) a b
 let symmetric_difference a b = boolean_combination ( <> ) a b
 
 let hide (t : A.t) vars =
+  M.with_frozen t.man @@ fun () ->
   let cube = O.cube_of_vars t.man vars in
   let hidden = Hashtbl.create 8 in
   List.iter (fun v -> Hashtbl.replace hidden v ()) vars;
@@ -250,6 +259,7 @@ let prefix_close (t : A.t) =
 
 let progressive ?(on_pass = fun () -> ()) (t : A.t) ~inputs =
   let man = t.man in
+  M.with_frozen man @@ fun () ->
   let outputs = List.filter (fun v -> not (List.mem v inputs)) t.alphabet in
   let out_cube = O.cube_of_vars man outputs in
   let n = A.num_states t in

@@ -8,6 +8,8 @@ module O = Ops
 let isop_with_bdd m lower upper =
   if O.bdiff m lower upper <> M.zero then
     invalid_arg "Isop.isop: lower not contained in upper";
+  (* the memo holds unpinned intermediate BDD ids: run frozen *)
+  M.with_frozen m @@ fun () ->
   let memo = Hashtbl.create 64 in
   let rec go lower upper =
     if lower = M.zero then ([], M.zero)
@@ -53,4 +55,6 @@ let isop m lower upper = fst (isop_with_bdd m lower upper)
 
 let cover m f = isop m f f
 
-let cover_bdd m cubes = O.disj m (List.map (O.cube_of_literals m) cubes)
+let cover_bdd m cubes =
+  M.with_frozen m @@ fun () ->
+  O.disj m (List.map (O.cube_of_literals m) cubes)

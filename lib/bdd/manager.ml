@@ -1,19 +1,33 @@
 (* Node store with a flat open-addressing unique table and a lossy
    direct-mapped computed cache (the classic CUDD layout): node creation and
    cache probes are the innermost loops of every algorithm in this
-   repository, so they avoid boxed keys and GC traffic entirely. *)
+   repository, so they avoid boxed keys and GC traffic entirely.
+
+   Dead nodes are reclaimed in place by a mark-and-sweep collector (see
+   DESIGN.md, "Garbage collection"): swept slots go onto a free list that
+   [mk] consumes before growing the store, so live node ids are never moved
+   and id-keyed memo tables (subset-construction P_zeta memo, support memo)
+   stay valid across collections. Reachability is defined by explicitly
+   pinned roots: the [protect]/[release] table, registered root sets, and an
+   internal operand stack that the recursive operations in [Ops] use to pin
+   intermediate results for the duration of a call. *)
+
+type root_set = { mutable rs_ids : int array; mutable rs_n : int }
 
 type t = {
   mutable var_of : int array;
   mutable low_of : int array;
   mutable high_of : int array;
-  mutable n_nodes : int;
+  mutable n_nodes : int;  (* store top: one past the highest id ever used *)
   (* unique table: open addressing into [u_slot], -1 = empty; keys are the
-     (var, low, high) of the node stored at the slot *)
+     (var, low, high) of the node stored at the slot. Only live ids appear:
+     the table is rebuilt after every sweep. *)
   mutable u_slot : int array;
   mutable u_mask : int;
   (* computed cache: direct-mapped, 4 ints of key + 1 of result per entry;
-     grows (emptying itself — it is lossy anyway) as the node count does *)
+     grows (emptying itself — it is lossy anyway) as the node count does.
+     Invalidated wholesale by every collection: a cached result may name a
+     swept id, and a swept slot may be re-filled with a different node. *)
   mutable c_key_op : int array;
   mutable c_key_a : int array;
   mutable c_key_b : int array;
@@ -28,6 +42,21 @@ type t = {
      deterministic fault injection (Equation.Runtime). *)
   mutable alloc_hook : (unit -> unit) option;
   support_memo : (int, int list) Hashtbl.t;
+  (* --- garbage collection state --- *)
+  mutable n_entries : int;  (* live node count, constants included *)
+  mutable peak_live : int;
+  mutable free_head : int;  (* free list threaded through [low_of]; -1 = empty *)
+  mutable free_count : int;
+  pinned : (int, int) Hashtbl.t;  (* node id -> pin count *)
+  mutable root_sets : root_set list;
+  mutable op_stack : int array;  (* operand pins, LIFO (cf. BuDDy PUSHREF) *)
+  mutable op_top : int;
+  mutable frozen : int;  (* > 0: allocation may not trigger a collection *)
+  mutable auto_gc : bool;
+  mutable gc_threshold : float;  (* estimated dead ratio that justifies a GC *)
+  mutable live_after_gc : int;  (* live count right after the last sweep *)
+  mutable gc_runs : int;
+  mutable gc_swept_total : int;
 }
 
 exception Node_limit_exceeded
@@ -46,6 +75,10 @@ let c_clear = Obs.Counter.make "bdd.cache.clears"
 let c_lookup = Obs.Counter.make "bdd.cache.lookups"
 let c_hit = Obs.Counter.make "bdd.cache.hits"
 let g_peak = Obs.Gauge.make "bdd.peak_nodes"
+let c_gc_runs = Obs.Counter.make "bdd.gc.runs"
+let c_gc_swept = Obs.Counter.make "bdd.gc.nodes_swept"
+let c_gc_live_after = Obs.Counter.make "bdd.gc.live_after"
+let g_live = Obs.Gauge.make "bdd.live_nodes"
 
 (* per-operation cache counters, indexed by the [Op] tag below; slot 0 is
    unused and maps to the dummy cell *)
@@ -65,8 +98,15 @@ let zero = 0
 let one = 1
 let terminal_level = max_int
 
+(* variable sentinel marking a swept (free-listed) slot; [low_of] holds the
+   next free slot while a slot carries this mark *)
+let free_level = -2
+
 let initial_cache_bits = 12
 let max_cache_bits = 22
+let cache_cap = 1 lsl max_cache_bits
+
+let default_gc_threshold = 0.25
 
 let create ?(initial_capacity = 1024) () =
   let cap = max initial_capacity 16 in
@@ -94,6 +134,23 @@ let create ?(initial_capacity = 1024) () =
       node_limit = None;
       alloc_hook = None;
       support_memo = Hashtbl.create 256;
+      n_entries = 2;
+      peak_live = 2;
+      free_head = -1;
+      free_count = 0;
+      pinned = Hashtbl.create 64;
+      root_sets = [];
+      op_stack = Array.make 256 0;
+      op_top = 0;
+      frozen = 0;
+      (* collection is opt-in: it is only sound once every id the client
+         holds is pinned or reachable from a pinned root, which the solver
+         guarantees (and enables GC) but raw-API users need not *)
+      auto_gc = false;
+      gc_threshold = default_gc_threshold;
+      live_after_gc = 2;
+      gc_runs = 0;
+      gc_swept_total = 0;
     }
   in
   m.low_of.(0) <- 0;
@@ -120,18 +177,18 @@ let grow_nodes m =
   m.low_of <- extend m.low_of (-1);
   m.high_of <- extend m.high_of (-1)
 
+(* the [max_cache_bits] cap is checked by the caller (on the allocation
+   path, where paying a call per [mk] just to bounce off the cap inside
+   showed up in profiles) *)
 let grow_cache m =
-  let size = m.c_mask + 1 in
-  if size < 1 lsl max_cache_bits then begin
-    if !Obs.on then Obs.Counter.bump c_grow_cache;
-    let size' = 2 * size in
-    m.c_key_op <- Array.make size' (-1);
-    m.c_key_a <- Array.make size' 0;
-    m.c_key_b <- Array.make size' 0;
-    m.c_key_c <- Array.make size' 0;
-    m.c_res <- Array.make size' 0;
-    m.c_mask <- size' - 1
-  end
+  if !Obs.on then Obs.Counter.bump c_grow_cache;
+  let size' = 2 * (m.c_mask + 1) in
+  m.c_key_op <- Array.make size' (-1);
+  m.c_key_a <- Array.make size' 0;
+  m.c_key_b <- Array.make size' 0;
+  m.c_key_c <- Array.make size' 0;
+  m.c_res <- Array.make size' 0;
+  m.c_mask <- size' - 1
 
 let rehash_unique m =
   if !Obs.on then Obs.Counter.bump c_rehash;
@@ -151,9 +208,202 @@ let rehash_unique m =
   m.u_slot <- slot';
   m.u_mask <- mask'
 
-let num_nodes m = m.n_nodes
+let num_nodes m = m.n_entries
+let live_nodes m = m.n_entries
+let peak_live_nodes m = m.peak_live
+let store_size m = m.n_nodes
+let free_nodes m = m.free_count
 let set_node_limit m lim = m.node_limit <- lim
 let set_alloc_hook m hook = m.alloc_hook <- hook
+
+(* --- root pinning ------------------------------------------------------- *)
+
+let protect m id =
+  if id >= 2 then
+    match Hashtbl.find_opt m.pinned id with
+    | Some n -> Hashtbl.replace m.pinned id (n + 1)
+    | None -> Hashtbl.replace m.pinned id 1
+
+let release m id =
+  if id >= 2 then
+    match Hashtbl.find_opt m.pinned id with
+    | Some 1 -> Hashtbl.remove m.pinned id
+    | Some n -> Hashtbl.replace m.pinned id (n - 1)
+    | None -> invalid_arg "Manager.release: node is not protected"
+
+let protected m id = id < 2 || Hashtbl.mem m.pinned id
+
+module Roots = struct
+  type set = root_set
+
+  let create m =
+    let s = { rs_ids = Array.make 16 0; rs_n = 0 } in
+    m.root_sets <- s :: m.root_sets;
+    s
+
+  let add s id =
+    if id >= 2 then begin
+      if s.rs_n = Array.length s.rs_ids then begin
+        let a = Array.make (2 * s.rs_n) 0 in
+        Array.blit s.rs_ids 0 a 0 s.rs_n;
+        s.rs_ids <- a
+      end;
+      s.rs_ids.(s.rs_n) <- id;
+      s.rs_n <- s.rs_n + 1
+    end;
+    id
+
+  let release m s = m.root_sets <- List.filter (fun s' -> s' != s) m.root_sets
+end
+
+let with_roots m f =
+  let s = Roots.create m in
+  Fun.protect ~finally:(fun () -> Roots.release m s) (fun () -> f s)
+
+(* operand stack: recursive operations pin already-computed intermediates
+   here across their remaining recursive calls; [mk] pins its own operands
+   before triggering a collection, so a pushed id can never be swept while
+   an operation still holds it in an OCaml local *)
+let stack_push m id =
+  if m.op_top = Array.length m.op_stack then begin
+    let a = Array.make (2 * m.op_top) 0 in
+    Array.blit m.op_stack 0 a 0 m.op_top;
+    m.op_stack <- a
+  end;
+  m.op_stack.(m.op_top) <- id;
+  m.op_top <- m.op_top + 1
+
+let stack_drop m n = m.op_top <- max 0 (m.op_top - n)
+
+(* called at ladder safe points (Runtime.attach): an exception that unwound
+   through an operation leaves its pins behind, harmlessly conservative
+   until the next attempt starts *)
+let reset_op_stack m = m.op_top <- 0
+
+let with_frozen m f =
+  m.frozen <- m.frozen + 1;
+  Fun.protect ~finally:(fun () -> m.frozen <- m.frozen - 1) f
+
+let set_auto_gc m b = m.auto_gc <- b
+let auto_gc m = m.auto_gc
+
+let set_gc_threshold m r =
+  if not (r >= 0.0 && r <= 1.0) then
+    invalid_arg "Manager.set_gc_threshold: ratio outside [0,1]";
+  m.gc_threshold <- r
+
+let gc_threshold m = m.gc_threshold
+let gc_runs m = m.gc_runs
+let gc_nodes_swept m = m.gc_swept_total
+
+(* --- mark and sweep ----------------------------------------------------- *)
+
+let collect m =
+  if m.frozen > 0 then invalid_arg "Manager.collect: manager is frozen";
+  let top = m.n_nodes in
+  let mark = Bytes.make top '\000' in
+  Bytes.set mark 0 '\001';
+  Bytes.set mark 1 '\001';
+  (* iterative DFS from every pinned root; the depth of a BDD is bounded by
+     the variable count but sibling chains are not, so use an explicit
+     stack rather than recursion *)
+  let stack = ref (Array.make 1024 0) in
+  let sp = ref 0 in
+  let push id =
+    if !sp = Array.length !stack then begin
+      let a = Array.make (2 * !sp) 0 in
+      Array.blit !stack 0 a 0 !sp;
+      stack := a
+    end;
+    !stack.(!sp) <- id;
+    incr sp
+  in
+  let visit root =
+    if root >= 2 && root < top && m.var_of.(root) <> free_level then begin
+      push root;
+      while !sp > 0 do
+        decr sp;
+        let id = !stack.(!sp) in
+        if Bytes.get mark id = '\000' then begin
+          Bytes.set mark id '\001';
+          let lo = m.low_of.(id) and hi = m.high_of.(id) in
+          if Bytes.get mark lo = '\000' then push lo;
+          if Bytes.get mark hi = '\000' then push hi
+        end
+      done
+    end
+  in
+  Hashtbl.iter (fun id _ -> visit id) m.pinned;
+  List.iter
+    (fun s ->
+      for i = 0 to s.rs_n - 1 do
+        visit s.rs_ids.(i)
+      done)
+    m.root_sets;
+  for i = 0 to m.op_top - 1 do
+    visit m.op_stack.(i)
+  done;
+  (* sweep: thread dead slots onto the free list (downwards, so the lowest
+     dead id is reused first — deterministic and store-compacting in
+     tendency even without moving live nodes) *)
+  let swept = ref 0 in
+  m.free_head <- -1;
+  m.free_count <- 0;
+  for id = top - 1 downto 2 do
+    if m.var_of.(id) = free_level || Bytes.get mark id = '\000' then begin
+      if m.var_of.(id) <> free_level then incr swept;
+      m.var_of.(id) <- free_level;
+      m.low_of.(id) <- m.free_head;
+      m.high_of.(id) <- -1;
+      m.free_head <- id;
+      m.free_count <- m.free_count + 1
+    end
+  done;
+  m.n_entries <- m.n_entries - !swept;
+  m.live_after_gc <- m.n_entries;
+  m.gc_runs <- m.gc_runs + 1;
+  m.gc_swept_total <- m.gc_swept_total + !swept;
+  (* rebuild the unique table over the live nodes at its current size *)
+  Array.fill m.u_slot 0 (Array.length m.u_slot) (-1);
+  let mask = m.u_mask in
+  for id = 2 to top - 1 do
+    if m.var_of.(id) <> free_level then begin
+      let h = ref (hash3 m.var_of.(id) m.low_of.(id) m.high_of.(id) land mask) in
+      while m.u_slot.(!h) >= 0 do
+        h := (!h + 1) land mask
+      done;
+      m.u_slot.(!h) <- id
+    end
+  done;
+  (* a cached result may name a dead id; drop the whole (lossy) cache *)
+  Array.fill m.c_key_op 0 (Array.length m.c_key_op) (-1);
+  (* the support memo is keyed by node id: entries for swept ids would be
+     resurrected wrongly when the id is reused *)
+  let dead_keys =
+    Hashtbl.fold
+      (fun id _ acc ->
+        if id >= 2 && (id >= top || m.var_of.(id) = free_level) then id :: acc
+        else acc)
+      m.support_memo []
+  in
+  List.iter (Hashtbl.remove m.support_memo) dead_keys;
+  if !Obs.on then begin
+    Obs.Counter.bump c_gc_runs;
+    Obs.Counter.add c_gc_swept !swept;
+    Obs.Counter.add c_gc_live_after m.n_entries;
+    Obs.Gauge.set g_live m.n_entries;
+    Obs.Trace.point "bdd.gc"
+      ~detail:(Printf.sprintf "swept=%d live=%d" !swept m.n_entries)
+  end;
+  !swept
+
+(* estimated dead ratio: every allocation since the last sweep is treated
+   as potentially dead. Deterministic — it depends only on allocation
+   counts, never on wall time or the OCaml heap. *)
+let est_dead_ratio m =
+  if m.n_entries <= 0 then 0.0
+  else
+    float_of_int (m.n_entries - m.live_after_gc) /. float_of_int m.n_entries
 
 let mk m v lo hi =
   if lo = hi then lo
@@ -178,25 +428,86 @@ let mk m v lo hi =
       !found
     end
     else begin
+      let slot = ref !h in
+      (* a collection rebuilds the unique table: re-derive the free slot
+         for the pending insertion afterwards *)
+      let collect_pinned () =
+        (* pin our own operands — the caller cannot know a collection
+           happens under this particular [mk] *)
+        stack_push m lo;
+        stack_push m hi;
+        let swept = collect m in
+        stack_drop m 2;
+        let mask = m.u_mask in
+        let h' = ref (hash3 v lo hi land mask) in
+        while m.u_slot.(!h') >= 0 do
+          h' := (!h' + 1) land mask
+        done;
+        slot := !h';
+        swept
+      in
+      let may_collect () =
+        m.auto_gc && m.frozen = 0 && est_dead_ratio m >= m.gc_threshold
+      in
+      (* the node budget bounds *live* nodes: when the entry count hits the
+         limit, reclaim dead entries first and only fail if the live set
+         itself does not fit. [est_dead_ratio] drops to 0 right after a
+         collection, so a saturated live set cannot thrash here. *)
       (match m.node_limit with
-       | Some lim when m.n_nodes >= lim -> raise Node_limit_exceeded
+       | Some lim when m.n_entries >= lim ->
+         if may_collect () then begin
+           ignore (collect_pinned () : int);
+           if m.n_entries >= lim then raise Node_limit_exceeded
+         end
+         else raise Node_limit_exceeded
        | Some _ | None -> ());
       (match m.alloc_hook with Some f -> f () | None -> ());
-      if m.n_nodes >= Array.length m.var_of then grow_nodes m;
-      let id = m.n_nodes in
-      m.n_nodes <- id + 1;
+      let id =
+        if m.free_head >= 0 then begin
+          let id = m.free_head in
+          m.free_head <- m.low_of.(id);
+          m.free_count <- m.free_count - 1;
+          id
+        end
+        else begin
+          if m.n_nodes >= Array.length m.var_of then begin
+            if may_collect () then begin
+              let swept = collect_pinned () in
+              (* anti-thrash: a collection that reclaimed under 1/8 of the
+                 store would have us collecting again almost immediately *)
+              if swept < Array.length m.var_of / 8 then grow_nodes m
+            end
+            else grow_nodes m
+          end;
+          if m.free_head >= 0 then begin
+            let id = m.free_head in
+            m.free_head <- m.low_of.(id);
+            m.free_count <- m.free_count - 1;
+            id
+          end
+          else begin
+            let id = m.n_nodes in
+            m.n_nodes <- id + 1;
+            id
+          end
+        end
+      in
+      m.n_entries <- m.n_entries + 1;
+      if m.n_entries > m.peak_live then m.peak_live <- m.n_entries;
       if !Obs.on then begin
         Obs.Counter.bump c_alloc;
-        Obs.Gauge.set_max g_peak m.n_nodes
+        Obs.Gauge.set_max g_peak m.n_entries;
+        Obs.Gauge.set g_live m.n_entries
       end;
       m.var_of.(id) <- v;
       m.low_of.(id) <- lo;
       m.high_of.(id) <- hi;
-      m.u_slot.(!h) <- id;
+      m.u_slot.(!slot) <- id;
       (* keep the load factor under 1/2 *)
-      if 2 * m.n_nodes > m.u_mask then rehash_unique m;
-      (* keep the (lossy) computed cache proportional to the node count *)
-      if m.n_nodes > m.c_mask then grow_cache m;
+      if 2 * m.n_entries > m.u_mask then rehash_unique m;
+      (* keep the (lossy) computed cache proportional to the live count;
+         the [max_cache_bits] cap is checked here, not in [grow_cache] *)
+      if m.n_entries > m.c_mask && m.c_mask + 1 < cache_cap then grow_cache m;
       id
     end
   end
@@ -210,12 +521,16 @@ let num_vars m = m.n_vars
 let new_var ?name m =
   let v = m.n_vars in
   m.n_vars <- v + 1;
-  let name = match name with Some s -> s | None -> Printf.sprintf "x%d" v in
-  let old = m.names in
-  let names = Array.make m.n_vars "" in
-  Array.blit old 0 names 0 (Array.length old);
-  names.(v) <- name;
-  m.names <- names;
+  (* grow geometrically: the old per-variable copy made registering n
+     variables O(n^2) *)
+  if v >= Array.length m.names then begin
+    let cap' = max 16 (2 * Array.length m.names) in
+    let names = Array.make cap' "" in
+    Array.blit m.names 0 names 0 v;
+    m.names <- names
+  end;
+  m.names.(v) <-
+    (match name with Some s -> s | None -> Printf.sprintf "x%d" v);
   v
 
 let new_vars ?(prefix = "x") m n =

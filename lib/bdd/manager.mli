@@ -1,19 +1,51 @@
-(** BDD manager: node store, unique table and operation caches.
+(** BDD manager: node store, unique table, operation caches and an
+    in-place mark-and-sweep garbage collector.
 
     Nodes are identified by non-negative integers. The constants [zero] and
     [one] are nodes 0 and 1. All other nodes are decision nodes with a
     variable (identified by its level: smaller level = closer to the root),
     a low child (the [var = false] cofactor) and a high child. The manager
     guarantees canonicity: structurally equal BDDs have equal node ids, so
-    semantic equality of functions is integer equality of their roots. *)
+    semantic equality of functions is integer equality of their roots.
+
+    {2 Garbage collection}
+
+    Dead nodes are reclaimed in place: a sweep threads them onto a free
+    list that {!mk} consumes before growing the store. Live ids never move
+    (no compaction), so id-keyed client tables stay valid across
+    collections. Reachability is defined by explicit roots only — the
+    manager cannot see ids held in OCaml data structures:
+
+    - {!protect}/{!release} pin long-lived roots (reference counted);
+    - {!Roots} sets and {!with_roots} pin scoped groups of roots;
+    - an internal operand stack ({!stack_push}/{!stack_drop}) pins
+      intermediates inside recursive operations;
+    - {!with_frozen} defers collection entirely for code that holds
+      unpinned ids (private memo tables, bulk constructions) — the store
+      grows instead.
+
+    Collections are triggered deterministically from {!mk}: only when the
+    store is full, the free list is empty, and the estimated dead ratio
+    (allocations since the last sweep / live count) reaches
+    {!gc_threshold}. No wall-clock or OCaml-heap state is consulted, so a
+    run is reproducible allocation by allocation.
+
+    Automatic collection is {e opt-in} ({!set_auto_gc}, default off): it
+    is only sound once every node id the client still needs is pinned or
+    reachable from a pinned root. The solver pins its roots throughout
+    and enables GC on the managers it creates; code using this API
+    directly keeps the historical grow-only behavior unless it opts
+    in. Explicit {!collect} is available either way. *)
 
 type t
 (** A BDD manager. All nodes and operations are relative to one manager;
     mixing node ids across managers is unchecked and meaningless. *)
 
 exception Node_limit_exceeded
-(** Raised by node creation when the node count passes the configured limit.
-    Used to convert blow-ups into "could not complete" results. *)
+(** Raised by node creation when the {e live} node count passes the
+    configured limit. Used to convert blow-ups into "could not complete"
+    results. A collection lowers the live count, so budgets bound resident
+    nodes, not cumulative allocations. *)
 
 val create : ?initial_capacity:int -> unit -> t
 (** [create ()] makes a manager with no variables. *)
@@ -42,7 +74,9 @@ val set_var_name : t -> int -> string -> unit
 val mk : t -> int -> int -> int -> int
 (** [mk m v lo hi] is the canonical node for [if v then hi else lo].
     Requires that [v] is strictly above the levels of [lo] and [hi].
-    Reduced: returns [lo] when [lo = hi]. *)
+    Reduced: returns [lo] when [lo = hi]. May trigger a garbage
+    collection (see module docs); [lo] and [hi] are pinned by [mk]
+    itself for the duration. *)
 
 val var : t -> int -> int
 (** [var m id] is the variable (level) of node [id]; a large sentinel
@@ -62,10 +96,26 @@ val is_const : int -> bool
 (** True on [zero] and [one]. *)
 
 val num_nodes : t -> int
-(** Total nodes ever created in the manager (a measure of work/memory). *)
+(** Live nodes currently resident in the manager (constants included).
+    Before the first collection this equals the historical "total nodes
+    ever created". *)
+
+val live_nodes : t -> int
+(** Synonym of {!num_nodes}, for symmetry with {!peak_live_nodes}. *)
+
+val peak_live_nodes : t -> int
+(** High-water mark of the live node count — the memory figure reported
+    by the solver and the benchmarks. *)
+
+val store_size : t -> int
+(** One past the highest node id ever allocated (free slots included);
+    the size of the id space, an upper bound on {!live_nodes}. *)
+
+val free_nodes : t -> int
+(** Slots currently on the free list, waiting for reuse by {!mk}. *)
 
 val set_node_limit : t -> int option -> unit
-(** Set or clear the node-creation limit ([Node_limit_exceeded]). *)
+(** Set or clear the live-node limit ([Node_limit_exceeded]). *)
 
 val set_alloc_hook : t -> (unit -> unit) option -> unit
 (** Install (or clear) a callback invoked on every {e fresh} node
@@ -75,6 +125,89 @@ val set_alloc_hook : t -> (unit -> unit) option -> unit
     {!Node_limit_exceeded} at its Nth invocation makes a blow-up
     reproducible at an exact allocation. *)
 
+(** {2 Garbage collection API} *)
+
+val protect : t -> int -> unit
+(** [protect m id] pins [id] (and thereby everything reachable from it)
+    against collection. Reference counted: [n] protects need [n]
+    releases. Constants need no pinning and are accepted as no-ops. *)
+
+val release : t -> int -> unit
+(** Undo one {!protect}. Raises [Invalid_argument] if [id] is not
+    currently protected (catching unbalanced pin bugs early). *)
+
+val protected : t -> int -> bool
+(** Whether [id] is directly pinned (constants always are). Reachability
+    from other roots is not consulted. *)
+
+(** Scoped root sets: a set groups pinned ids so a whole construction can
+    be released at once (or automatically via {!with_roots}). *)
+module Roots : sig
+  type set
+
+  val create : t -> set
+  (** Register an empty root set with the manager. *)
+
+  val add : set -> int -> int
+  (** [add s id] pins [id] for the lifetime of the set and returns [id]
+      (so calls compose: [Roots.add s (O.band m f g)]). *)
+
+  val release : t -> set -> unit
+  (** Unregister the set, unpinning every id it holds. *)
+end
+
+val with_roots : t -> (Roots.set -> 'a) -> 'a
+(** [with_roots m f] runs [f] with a fresh root set, releasing it when
+    [f] returns or raises. *)
+
+val stack_push : t -> int -> unit
+(** Pin an intermediate on the internal operand stack. Used by the
+    recursive operations in {!Ops} to protect already-computed partial
+    results across their remaining recursive calls; strictly LIFO with
+    {!stack_drop}. *)
+
+val stack_drop : t -> int -> unit
+(** Pop the [n] most recent operand pins. *)
+
+val reset_op_stack : t -> unit
+(** Drop every operand pin. Only sound at a safe point — no BDD operation
+    of this manager on the OCaml call stack. The solver runtime calls
+    this when (re)attaching to a manager, clearing pins leaked by an
+    exception that unwound through an operation. *)
+
+val with_frozen : t -> (unit -> 'a) -> 'a
+(** [with_frozen m f] runs [f] with automatic collection disabled (the
+    store grows instead; explicit {!collect} raises). Nests. Use around
+    code that holds node ids where the collector cannot see them —
+    private memo tables, bulk constructions of unpinned collections. *)
+
+val collect : t -> int
+(** Run a mark-and-sweep collection now and return the number of nodes
+    swept. All unpinned, unreachable nodes are freed; the unique table is
+    rebuilt over the live nodes; the computed cache is invalidated;
+    support-memo entries for dead ids are dropped. Live ids are never
+    moved. Raises [Invalid_argument] inside {!with_frozen}. *)
+
+val set_auto_gc : t -> bool -> unit
+(** Enable or disable {!mk}-triggered collection (default: disabled —
+    see the module docs on why collection is opt-in). Explicit
+    {!collect} works either way. *)
+
+val auto_gc : t -> bool
+
+val set_gc_threshold : t -> float -> unit
+(** Estimated dead ratio (in [0,1]) that a full store must reach before
+    {!mk} collects rather than grows. Default 0.25. Raises
+    [Invalid_argument] outside [0,1]. *)
+
+val gc_threshold : t -> float
+
+val gc_runs : t -> int
+(** Collections performed over the manager's lifetime. *)
+
+val gc_nodes_swept : t -> int
+(** Total nodes reclaimed over the manager's lifetime. *)
+
 val cache_find : t -> int -> int -> int -> int -> int option
 (** [cache_find m op a b c] looks up the computed cache. The [op] tag
     namespaces operations; [a b c] are operand node ids (use 0 for unused
@@ -83,11 +216,13 @@ val cache_find : t -> int -> int -> int -> int -> int option
 val cache_store : t -> int -> int -> int -> int -> int -> unit
 (** [cache_store m op a b c r] memoizes a result. The cache is a lossy
     direct-mapped table: entries may be overwritten at any time, which only
-    costs recomputation (nodes are never freed, so hits are always valid). *)
+    costs recomputation. Every collection empties the cache, so a hit can
+    never name a swept id. *)
 
 val support_memo : t -> (int, int list) Hashtbl.t
 (** Memo table from node id to its (sorted) support, shared by {!Ops.support}
-    callers. Nodes are immutable, so entries never go stale. *)
+    callers. Nodes are immutable, so entries never go stale; the collector
+    removes entries whose key id was swept before the id can be reused. *)
 
 val clear_caches : t -> unit
 (** Drop all memoized operation results (never required for correctness). *)

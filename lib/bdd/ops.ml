@@ -1,5 +1,13 @@
 module M = Manager
 
+(* GC discipline for every recursive operation below: the caller keeps the
+   operands alive (pinned directly or reachable from a pinned root), and
+   the operation pins each already-computed intermediate on the manager's
+   operand stack before making further recursive calls, so a collection
+   triggered by an inner [mk] can never sweep a partial result held only
+   in an OCaml local. [mk] pins its own two arguments, so results that
+   flow straight into an enclosing [mk] need no extra pin. *)
+
 let var_bdd m v = M.mk m v M.zero M.one
 let nvar_bdd m v = M.mk m v M.one M.zero
 
@@ -10,7 +18,11 @@ let rec bnot m f =
     match M.cache_find m M.Op.bnot f 0 0 with
     | Some r -> r
     | None ->
-      let r = M.mk m (M.var m f) (bnot m (M.low m f)) (bnot m (M.high m f)) in
+      let lo = bnot m (M.low m f) in
+      M.stack_push m lo;
+      let hi = bnot m (M.high m f) in
+      M.stack_drop m 1;
+      let r = M.mk m (M.var m f) lo hi in
       M.cache_store m M.Op.bnot f 0 0 r;
       r
 
@@ -31,26 +43,60 @@ let rec ite m f g h =
       let f0, f1 = cofactors m f v in
       let g0, g1 = cofactors m g v in
       let h0, h1 = cofactors m h v in
-      let r = M.mk m v (ite m f0 g0 h0) (ite m f1 g1 h1) in
+      let lo = ite m f0 g0 h0 in
+      M.stack_push m lo;
+      let hi = ite m f1 g1 h1 in
+      M.stack_drop m 1;
+      let r = M.mk m v lo hi in
       M.cache_store m M.Op.ite f g h r;
       r
 
 let band m f g = ite m f g M.zero
 let bor m f g = ite m f M.one g
-let bxor m f g = ite m f (bnot m g) g
-let bxnor m f g = ite m f g (bnot m g)
-let bimp m f g = ite m f g M.one
-let bdiff m f g = ite m f (bnot m g) M.zero
 
-(* Balanced reduction keeps intermediate BDDs small on long lists. *)
+let bxor m f g =
+  let ng = bnot m g in
+  M.stack_push m ng;
+  let r = ite m f ng g in
+  M.stack_drop m 1;
+  r
+
+let bxnor m f g =
+  let ng = bnot m g in
+  M.stack_push m ng;
+  let r = ite m f g ng in
+  M.stack_drop m 1;
+  r
+
+let bimp m f g = ite m f g M.one
+
+let bdiff m f g =
+  let ng = bnot m g in
+  M.stack_push m ng;
+  let r = ite m f ng M.zero in
+  M.stack_drop m 1;
+  r
+
+(* Balanced reduction keeps intermediate BDDs small on long lists; each
+   round's results are pinned until the fold completes. *)
 let balanced_fold op neutral m fs =
+  let pins = ref 0 in
   let rec round = function
     | [] -> []
     | [ f ] -> [ f ]
-    | f :: g :: rest -> op m f g :: round rest
+    | f :: g :: rest ->
+      let r = op m f g in
+      M.stack_push m r;
+      incr pins;
+      r :: round rest
   in
   let rec go = function [ f ] -> f | fs -> go (round fs) in
-  match fs with [] -> neutral | fs -> go fs
+  match fs with
+  | [] -> neutral
+  | fs ->
+    let r = go fs in
+    M.stack_drop m !pins;
+    r
 
 let conj m fs = balanced_fold band M.one m fs
 let disj m fs = balanced_fold bor M.zero m fs
@@ -90,16 +136,35 @@ let rec exists m cube f =
             let cube' = M.high m cube in
             let lo = exists m cube' (M.low m f) in
             if lo = M.one then M.one
-            else bor m lo (exists m cube' (M.high m f))
+            else begin
+              M.stack_push m lo;
+              let hi = exists m cube' (M.high m f) in
+              M.stack_push m hi;
+              let r = bor m lo hi in
+              M.stack_drop m 2;
+              r
+            end
           end
-          else
-            M.mk m v (exists m cube (M.low m f)) (exists m cube (M.high m f))
+          else begin
+            let lo = exists m cube (M.low m f) in
+            M.stack_push m lo;
+            let hi = exists m cube (M.high m f) in
+            M.stack_drop m 1;
+            M.mk m v lo hi
+          end
         in
         M.cache_store m M.Op.exists f cube 0 r;
         r
   end
 
-let forall m cube f = bnot m (exists m cube (bnot m f))
+let forall m cube f =
+  let nf = bnot m f in
+  M.stack_push m nf;
+  let e = exists m cube nf in
+  M.stack_push m e;
+  let r = bnot m e in
+  M.stack_drop m 2;
+  r
 
 let rec and_exists m cube f g =
   if f = M.zero || g = M.zero then M.zero
@@ -129,10 +194,22 @@ let rec and_exists m cube f g =
             let cube' = M.high m cube in
             let lo = and_exists m cube' f0 g0 in
             if lo = M.one then M.one
-            else bor m lo (and_exists m cube' f1 g1)
+            else begin
+              M.stack_push m lo;
+              let hi = and_exists m cube' f1 g1 in
+              M.stack_push m hi;
+              let r = bor m lo hi in
+              M.stack_drop m 2;
+              r
+            end
           end
-          else
-            M.mk m top (and_exists m cube f0 g0) (and_exists m cube f1 g1)
+          else begin
+            let lo = and_exists m cube f0 g0 in
+            M.stack_push m lo;
+            let hi = and_exists m cube f1 g1 in
+            M.stack_drop m 1;
+            M.mk m top lo hi
+          end
         in
         M.cache_store m M.Op.and_exists f g cube r;
         r
@@ -151,7 +228,11 @@ let cofactor m f v b =
         match M.cache_find m M.Op.constrain f lit 0 with
         | Some r -> r
         | None ->
-          let r = M.mk m fv (walk (M.low m f)) (walk (M.high m f)) in
+          let lo = walk (M.low m f) in
+          M.stack_push m lo;
+          let hi = walk (M.high m f) in
+          M.stack_drop m 1;
+          let r = M.mk m fv lo hi in
           M.cache_store m M.Op.constrain f lit 0 r;
           r
   in
@@ -173,11 +254,11 @@ let rec cofactor_cube m f cube =
       match M.cache_find m M.Op.constrain f cube 1 with
       | Some r -> r
       | None ->
-        let r =
-          M.mk m fv
-            (cofactor_cube m (M.low m f) cube)
-            (cofactor_cube m (M.high m f) cube)
-        in
+        let lo = cofactor_cube m (M.low m f) cube in
+        M.stack_push m lo;
+        let hi = cofactor_cube m (M.high m f) cube in
+        M.stack_drop m 1;
+        let r = M.mk m fv lo hi in
         M.cache_store m M.Op.constrain f cube 1 r;
         r
   end
@@ -190,13 +271,21 @@ let rec compose m f v g =
     | Some r -> r
     | None ->
       let lo = compose m (M.low m f) v g in
+      M.stack_push m lo;
       let hi = compose m (M.high m f) v g in
+      M.stack_push m hi;
       (* [g] may mention variables above [var f], so rebuild with ite. *)
-      let r = ite m (var_bdd m (M.var m f)) hi lo in
+      let vb = var_bdd m (M.var m f) in
+      M.stack_push m vb;
+      let r = ite m vb hi lo in
+      M.stack_drop m 3;
       M.cache_store m M.Op.compose f g v r;
       r
 
+(* the private memo holds intermediate ids the collector cannot see, so
+   the whole traversal runs frozen (allocation grows the store instead) *)
 let subst m f lookup =
+  M.with_frozen m @@ fun () ->
   let memo = Hashtbl.create 64 in
   let rec go f =
     if M.is_const f then f
@@ -241,6 +330,7 @@ let support_union m fs =
   List.sort_uniq compare (List.concat_map (support m) fs)
 
 let rename m f pairs =
+  M.with_frozen m @@ fun () ->
   let map = Hashtbl.create 16 in
   List.iter (fun (a, b) -> Hashtbl.replace map a b) pairs;
   let image v = match Hashtbl.find_opt map v with Some b -> b | None -> v in

@@ -5,6 +5,10 @@ let c_reorders = Obs.Counter.make "bdd.reorders"
 let c_migrated = Obs.Counter.make "bdd.reorder.nodes_migrated"
 
 let migrate ~src ~dst ~var_map roots =
+  (* the memo maps src ids to unpinned dst ids, so the destination must
+     not collect mid-migration; the migrated roots are protected so they
+     survive the destination's future collections *)
+  M.with_frozen dst @@ fun () ->
   let memo = Hashtbl.create 256 in
   let rec go f =
     if f = M.zero then M.zero
@@ -20,6 +24,7 @@ let migrate ~src ~dst ~var_map roots =
         r
   in
   let roots' = List.map go roots in
+  List.iter (M.protect dst) roots';
   if !Obs.on then Obs.Counter.add c_migrated (Hashtbl.length memo);
   roots'
 

@@ -31,6 +31,8 @@ let dump m roots =
   Buffer.contents buf
 
 let load m ?(import_names = false) ?(var_map = fun v -> v) text =
+  (* [node_of] holds unpinned ids for the whole parse: run frozen *)
+  M.with_frozen m @@ fun () ->
   let node_of = Hashtbl.create 64 in
   Hashtbl.replace node_of 0 M.zero;
   Hashtbl.replace node_of 1 M.one;

@@ -12,6 +12,8 @@ type heuristic = First | Prefer_self_loops | Prefer of int
    the initial state is always viable. *)
 let viable_outputs (p : Problem.t) (csf : A.t) =
   let man = p.Problem.man in
+  (* [admissible] holds fresh guard ids across further allocation *)
+  M.with_frozen man @@ fun () ->
   let u_vars = Problem.x_input_vars p in
   let u_cube = O.cube_of_vars man u_vars in
   let n = A.num_states csf in
@@ -44,6 +46,9 @@ let viable_outputs (p : Problem.t) (csf : A.t) =
 
 let moore_sub_solution ?(heuristic = First) (p : Problem.t) (csf : A.t) =
   let man = p.Problem.man in
+  (* the admissible sets and chosen output cubes live in plain arrays
+     until [Machine.make] pins the survivors *)
+  M.with_frozen man @@ fun () ->
   if A.num_states csf = 0 || A.is_empty_language csf then None
   else begin
     let u_vars = Problem.x_input_vars p in

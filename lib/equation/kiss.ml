@@ -54,6 +54,8 @@ let tokens s =
   |> List.filter (fun t -> t <> "")
 
 let of_kiss2 man ?u_vars ?v_vars text =
+  (* guards accumulate in plain arrays before [Machine.make] pins them *)
+  M.with_frozen man @@ fun () ->
   let ni = ref None and no = ref None and reset = ref None in
   let rows = ref [] in
   List.iteri

@@ -19,7 +19,18 @@ let is_total_v_cube man v_vars cube =
   && O.support man cube = List.sort compare v_vars
   && O.sat_count man cube (List.length v_vars) = 1.0
 
+(* Machines outlive the construction that produced them: protect every BDD
+   the record holds (output cubes and transition guards) so a later
+   collection cannot sweep them. Protection is refcounted and never
+   released — machines are few and small. *)
+let pin t =
+  Array.iter (M.protect t.man) t.outputs;
+  Array.iter (List.iter (fun (g, _) -> M.protect t.man g)) t.next;
+  t
+
 let make man ~u_vars ~v_vars ~initial ~outputs ~next =
+  (* the validation below allocates while [outputs]/[next] are unpinned *)
+  M.with_frozen man @@ fun () ->
   let n = Array.length outputs in
   if Array.length next <> n then
     invalid_arg "Machine.make: outputs/next length mismatch";
@@ -48,9 +59,10 @@ let make man ~u_vars ~v_vars ~initial ~outputs ~next =
             invalid_arg "Machine.make: successor out of range")
         edges)
     next;
-  { man; u_vars; v_vars; initial; outputs; next }
+  pin { man; u_vars; v_vars; initial; outputs; next }
 
 let to_automaton t =
+  M.with_frozen t.man @@ fun () ->
   let edges =
     Array.mapi
       (fun s outgoing ->
@@ -82,6 +94,8 @@ let output_bits t s =
 
 let minimize t =
   let man = t.man in
+  (* signature guards are merged in tables while still allocating *)
+  M.with_frozen man @@ fun () ->
   let n = num_states t in
   (* initial partition: by output cube (canonical BDD ids compare directly) *)
   let class_of = Array.make n 0 in
@@ -127,12 +141,13 @@ let minimize t =
   let k = !num in
   let rep = Array.make k (-1) in
   for s = n - 1 downto 0 do rep.(class_of.(s)) <- s done;
-  { t with
-    initial = class_of.(t.initial);
-    outputs = Array.init k (fun c -> t.outputs.(rep.(c)));
-    next =
-      Array.init k (fun c ->
-          List.map (fun (c', g) -> (g, c')) (signature rep.(c))) }
+  pin
+    { t with
+      initial = class_of.(t.initial);
+      outputs = Array.init k (fun c -> t.outputs.(rep.(c)));
+      next =
+        Array.init k (fun c ->
+            List.map (fun (c', g) -> (g, c')) (signature rep.(c))) }
 
 let bits_needed n =
   let rec go b = if 1 lsl b >= n then b else go (b + 1) in

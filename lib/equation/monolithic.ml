@@ -20,55 +20,69 @@ let solve ?runtime (p : Problem.t) =
   let tick = Runtime.ticker runtime in
   let man = p.Problem.man in
   let f = p.Problem.f_sym and s = p.Problem.s_sym in
+  M.with_roots man @@ fun rs ->
+  let pin id = ignore (M.Roots.add rs id : int) in
   enter Runtime.Build;
-  (* monolithic transition-output relations *)
-  let to_f =
-    relation_of_functions man
-      (List.combine f.S.next_state_vars f.S.next_fns
-      @ List.combine p.Problem.u_vars p.Problem.f_out_u
-      @ List.combine p.Problem.o_vars p.Problem.f_out_o)
+  (* The relation build chains many top-level operations whose operands
+     live only in OCaml locals; it runs frozen (growing the store instead
+     of collecting), and only the survivors are pinned for the subset
+     phase. This is the paper's strawman flow: the monolithic relation is
+     the peak anyway, so there is little for a collector to reclaim here. *)
+  let d, hidden, cs_cube, ns_cube =
+    M.with_frozen man @@ fun () ->
+    (* monolithic transition-output relations *)
+    let to_f =
+      relation_of_functions man
+        (List.combine f.S.next_state_vars f.S.next_fns
+        @ List.combine p.Problem.u_vars p.Problem.f_out_u
+        @ List.combine p.Problem.o_vars p.Problem.f_out_o)
+    in
+    tick ();
+    let to_s =
+      relation_of_functions man
+        (List.combine s.S.next_state_vars s.S.next_fns
+        @ List.combine p.Problem.o_vars p.Problem.s_out_o)
+    in
+    tick ();
+    (* completion of S with the explicit DC state bit (paper §2): undefined
+       input/output combinations transition to the unique non-accepting
+       state [d = 1], which self-loops. The DC state's next-state code is
+       fixed to all-zeros to keep the relation deterministic. *)
+    let d = O.var_bdd man p.Problem.dc_var in
+    let d' = O.var_bdd man p.Problem.dc_next_var in
+    let ns2_cube = O.cube_of_vars man s.S.next_state_vars in
+    let undefined = O.bnot man (O.exists man ns2_cube to_s) in
+    let zero_ns2 =
+      O.conj man (List.map (O.nvar_bdd man) s.S.next_state_vars)
+    in
+    let nd = O.bnot man d and nd' = O.bnot man d' in
+    let to_s_complete =
+      O.disj man
+        [ O.conj man [ nd; nd'; to_s ];
+          O.conj man [ nd; undefined; d'; zero_ns2 ];
+          O.conj man [ d; d'; zero_ns2 ] ]
+    in
+    tick ();
+    (* complement(S) flips acceptance to the DC bit; form the product with
+       the (incomplete, all-accepting) F and hide the external variables.
+       This monolithic quantification is the expensive step the paper
+       avoids. *)
+    let product = O.band man to_f to_s_complete in
+    tick ();
+    let io_cube =
+      O.cube_of_vars man (Problem.hidden_inputs p @ p.Problem.o_vars)
+    in
+    let hidden = O.exists man io_cube product in
+    tick ();
+    let cs_vars = Problem.state_vars p @ [ p.Problem.dc_var ] in
+    let ns_vars = Problem.next_state_vars p @ [ p.Problem.dc_next_var ] in
+    (d, hidden, O.cube_of_vars man cs_vars, O.cube_of_vars man ns_vars)
   in
-  tick ();
-  let to_s =
-    relation_of_functions man
-      (List.combine s.S.next_state_vars s.S.next_fns
-      @ List.combine p.Problem.o_vars p.Problem.s_out_o)
-  in
-  tick ();
-  (* completion of S with the explicit DC state bit (paper §2): undefined
-     input/output combinations transition to the unique non-accepting state
-     [d = 1], which self-loops. The DC state's next-state code is fixed to
-     all-zeros to keep the relation deterministic. *)
-  let d = O.var_bdd man p.Problem.dc_var in
-  let d' = O.var_bdd man p.Problem.dc_next_var in
-  let ns2_cube = O.cube_of_vars man s.S.next_state_vars in
-  let undefined = O.bnot man (O.exists man ns2_cube to_s) in
-  let zero_ns2 =
-    O.conj man (List.map (O.nvar_bdd man) s.S.next_state_vars)
-  in
-  let nd = O.bnot man d and nd' = O.bnot man d' in
-  let to_s_complete =
-    O.disj man
-      [ O.conj man [ nd; nd'; to_s ];
-        O.conj man [ nd; undefined; d'; zero_ns2 ];
-        O.conj man [ d; d'; zero_ns2 ] ]
-  in
-  tick ();
-  (* complement(S) flips acceptance to the DC bit; form the product with the
-     (incomplete, all-accepting) F and hide the external variables. This
-     monolithic quantification is the expensive step the paper avoids. *)
-  let product = O.band man to_f to_s_complete in
-  tick ();
-  let io_cube =
-    O.cube_of_vars man (Problem.hidden_inputs p @ p.Problem.o_vars)
-  in
-  let hidden = O.exists man io_cube product in
-  tick ();
+  pin d;
+  pin hidden;
+  pin cs_cube;
+  pin ns_cube;
   let alphabet = Problem.alphabet p in
-  let cs_vars = Problem.state_vars p @ [ p.Problem.dc_var ] in
-  let ns_vars = Problem.next_state_vars p @ [ p.Problem.dc_next_var ] in
-  let cs_cube = O.cube_of_vars man cs_vars in
-  let ns_cube = O.cube_of_vars man ns_vars in
   let rename_pairs =
     Problem.ns_to_cs p @ [ (p.Problem.dc_next_var, p.Problem.dc_var) ]
   in
@@ -81,6 +95,7 @@ let solve ?runtime (p : Problem.t) =
     match Hashtbl.find_opt index zeta with
     | Some k -> k
     | None ->
+      pin zeta;
       let k = !count in
       incr count;
       Hashtbl.replace index zeta k;
@@ -89,7 +104,9 @@ let solve ?runtime (p : Problem.t) =
       k
   in
   let initial =
-    intern (O.band man (Problem.initial_cube p) (O.bnot man d))
+    intern
+      (M.with_frozen man @@ fun () ->
+       O.band man (Problem.initial_cube p) (O.bnot man d))
   in
   let split_memo = Subset.memo_table () in
   let edges_acc = ref [] in
@@ -106,17 +123,23 @@ let solve ?runtime (p : Problem.t) =
       Obs.Counter.bump c_image
     end;
     Option.iter Runtime.tick_image runtime;
+    (* per-iteration intermediates ride the operation stack across the
+       allocating calls that follow them *)
     let p_rel = O.and_exists man cs_cube hidden zeta in
+    M.stack_push man p_rel;
     let domain = O.exists man ns_cube p_rel in
+    M.stack_push man domain;
     List.iter
       (fun (guard, succ_ns) ->
         let zeta' = O.rename man succ_ns rename_pairs in
         edges_acc := (k, guard, intern zeta') :: !edges_acc)
-      (Subset.split_successors ?runtime ~memo:split_memo man ~p:p_rel
-         ~alphabet ~ns_cube);
+      (Subset.split_successors ?runtime ~memo:split_memo ~roots:rs man
+         ~p:p_rel ~alphabet ~ns_cube);
     let to_dca = O.bnot man domain in
+    M.stack_drop man 2;
     if to_dca <> M.zero then begin
       used_dca := true;
+      pin to_dca;
       edges_acc := (k, to_dca, dca) :: !edges_acc
     end
   done;
@@ -150,4 +173,4 @@ let solve ?runtime (p : Problem.t) =
   ( solution,
     { subset_states = n_subsets;
       hidden_relation_nodes = O.size man hidden;
-      peak_nodes = M.num_nodes man } )
+      peak_nodes = M.peak_live_nodes man } )

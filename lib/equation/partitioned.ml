@@ -26,17 +26,33 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
   let tick = Runtime.ticker runtime in
   let man = p.Problem.man in
   let images = ref 0 in
+  (* Everything the construction keeps across image computations — the
+     relation parts, the interned subset states, the edge guards and the
+     split-memo arcs — is registered in one root set scoped to the solve,
+     so the manager is free to collect dead image intermediates at any
+     allocation point in between. *)
+  M.with_roots man @@ fun rs ->
+  let pin id = ignore (M.Roots.add rs id : int) in
   enter Runtime.Build;
   let quantified = Problem.hidden_inputs p @ Problem.state_vars p in
   let alphabet = Problem.alphabet p in
   let ns_cube = O.cube_of_vars man (Problem.next_state_vars p) in
+  pin ns_cube;
   let cluster parts =
-    (Img.Partition.apply (Img.Partition.of_relations man parts) clustering)
-      .Img.Partition.parts
+    let clustered =
+      (Img.Partition.apply (Img.Partition.of_relations man parts) clustering)
+        .Img.Partition.parts
+    in
+    List.iter pin clustered;
+    clustered
   in
   let urel = cluster (Problem.u_relation_parts p) in
   let trel = cluster (Problem.transition_parts p) in
-  let non_conformance = List.map (O.bnot man) (Problem.conformance_parts p) in
+  let non_conformance =
+    M.with_frozen man @@ fun () ->
+    List.map (O.bnot man) (Problem.conformance_parts p)
+  in
+  List.iter pin non_conformance;
   let conjoin_exists rels =
     incr images;
     if !Obs.on then Obs.Counter.bump c_image;
@@ -53,14 +69,26 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
      non-conformance conditions once (they range over (i,v,cs) only — the
      dangerous ns variables are not involved) and runs a single image. *)
   let combined_non_conformance =
-    lazy (O.disj man non_conformance)
+    lazy
+      (let d = O.disj man non_conformance in
+       pin d;
+       d)
   in
   let non_conforming zeta =
     match q_mode with
     | Per_output ->
-      O.disj man
-        (List.map (fun ncj -> conjoin_exists (zeta :: ncj :: urel))
-           non_conformance)
+      (* each per-output image result must survive the remaining images *)
+      let qs =
+        List.map
+          (fun ncj ->
+            let qj = conjoin_exists (zeta :: ncj :: urel) in
+            M.stack_push man qj;
+            qj)
+          non_conformance
+      in
+      let q = O.disj man qs in
+      M.stack_drop man (List.length qs);
+      q
     | Combined ->
       conjoin_exists (zeta :: Lazy.force combined_non_conformance :: urel)
   in
@@ -76,6 +104,7 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
     match Hashtbl.find_opt index zeta with
     | Some k -> k
     | None ->
+      pin zeta;
       let k = !count in
       incr count;
       Hashtbl.replace index zeta k;
@@ -98,22 +127,36 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
     let k = Hashtbl.find index zeta in
     if !Obs.on then Obs.Counter.bump c_expanded;
     notify k;
+    (* per-iteration intermediates ride the operation stack: each one is an
+       operand of a later call in this iteration, and any allocation in
+       between may trigger a collection *)
     let q = non_conforming zeta in
-    let p_rel = O.bdiff man (successor_relation zeta) q in
+    M.stack_push man q;
+    let sr = successor_relation zeta in
+    M.stack_push man sr;
+    let p_rel = O.bdiff man sr q in
+    M.stack_drop man 1;
+    M.stack_push man p_rel;
     let domain = O.exists man ns_cube p_rel in
+    M.stack_push man domain;
     List.iter
       (fun (guard, succ_ns) ->
         let zeta' = O.rename man succ_ns (Problem.ns_to_cs p) in
         edges_acc := (k, guard, intern zeta') :: !edges_acc)
-      (Subset.split_successors ?runtime ~memo:split_memo man ~p:p_rel
-         ~alphabet ~ns_cube);
+      (Subset.split_successors ?runtime ~memo:split_memo ~roots:rs man
+         ~p:p_rel ~alphabet ~ns_cube);
     if q <> M.zero then begin
       used_dcn := true;
+      pin q;
       edges_acc := (k, q, dcn) :: !edges_acc
     end;
-    let to_dca = O.bnot man (O.bor man domain q) in
+    let covered = O.bor man domain q in
+    M.stack_push man covered;
+    let to_dca = O.bnot man covered in
+    M.stack_drop man 4;
     if to_dca <> M.zero then begin
       used_dca := true;
+      pin to_dca;
       edges_acc := (k, to_dca, dca) :: !edges_acc
     end
   done;
@@ -156,4 +199,4 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
   ( solution,
     { subset_states = n_subsets;
       image_computations = !images;
-      peak_nodes = M.num_nodes man } )
+      peak_nodes = M.peak_live_nodes man } )

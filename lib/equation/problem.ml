@@ -150,15 +150,21 @@ let next_state_vars t = t.f_sym.S.next_state_vars @ t.s_sym.S.next_state_vars
 let ns_to_cs t = S.ns_to_cs t.f_sym @ S.ns_to_cs t.s_sym
 let cs_to_ns t = S.cs_to_ns t.f_sym @ S.cs_to_ns t.s_sym
 
+(* The relation-part builders accumulate unpinned part ids in plain lists
+   while still allocating, so they run frozen; the finished parts are the
+   caller's to pin (or to hand to an image kernel that pins them). *)
 let conformance_parts t =
+  M.with_frozen t.man @@ fun () ->
   List.map2 (fun fo so -> O.bxnor t.man fo so) t.f_out_o t.s_out_o
 
 let u_relation_parts t =
+  M.with_frozen t.man @@ fun () ->
   List.map2
     (fun uv ufn -> O.bxnor t.man (O.var_bdd t.man uv) ufn)
     t.u_vars t.f_out_u
 
 let transition_parts t =
+  M.with_frozen t.man @@ fun () ->
   List.map2
     (fun nsv fn -> O.bxnor t.man (O.var_bdd t.man nsv) fn)
     (t.f_sym.S.next_state_vars @ t.s_sym.S.next_state_vars)
@@ -184,6 +190,11 @@ let x_input_vars t = List.sort compare (t.u_vars @ t.observed_i)
    forming the relation parts below may allocate a few nodes in it. *)
 let reorder (p : t) =
   let man = p.man in
+  (* freeze the source manager: the part lists built below live only in
+     OCaml lists until the migration finishes (the destination manager is
+     frozen by [Reorder.migrate] itself, which also protects the migrated
+     roots there) *)
+  M.with_frozen man @@ fun () ->
   let parts = transition_parts p @ u_relation_parts p @ conformance_parts p in
   let hyperedges =
     List.filter (fun s -> s <> []) (List.map (O.support man) parts)

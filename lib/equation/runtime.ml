@@ -161,6 +161,9 @@ let phase rt = rt.phase
 
 let attach rt man =
   Bdd.Manager.set_node_limit man rt.node_limit;
+  (* attach is a safe point between attempts: any temporaries a failed
+     attempt left on the GC operation stack are stale *)
+  Bdd.Manager.reset_op_stack man;
   rt.images <- 0;
   rt.subset_states <- 0;
   match rt.fault with

@@ -84,39 +84,49 @@ type outcome =
     }
 
 (* One step of the degradation ladder. [Fresh] rebuilds the problem from
-   scratch in a new manager; [Reorder_retry] migrates the previous
-   (failed) attempt's problem into a FORCE-reordered fresh manager. Every
+   scratch in a new manager; [Gc_retry] collects garbage on the failed
+   attempt's manager and retries the same configuration in place (the
+   failed attempt released its construction roots, so a blow-up dominated
+   by dead intermediates fits after a sweep); [Reorder_retry] migrates the
+   previous attempt's problem into a FORCE-reordered fresh manager. Every
    step carries the partition clustering its kernel runs with. *)
 type step =
   | Fresh of method_ * Img.Partition.clustering
+  | Gc_retry of method_ * Img.Partition.clustering
   | Reorder_retry of Img.Image.strategy * Img.Partition.clustering
 
 let step_label = function
   | Fresh (m, _) -> method_label m
+  | Gc_retry _ -> "gc-retry"
   | Reorder_retry _ -> "reorder-retry"
 
 let step_kernel = function
-  | Fresh (m, clustering) -> kernel_desc m clustering
+  | Fresh (m, clustering) | Gc_retry (m, clustering) ->
+    kernel_desc m clustering
   | Reorder_retry (strategy, clustering) ->
     kernel_desc (Partitioned strategy) clustering
 
-let ladder ~method_ ~clustering ~retries ~fallback =
+let ladder ~method_ ~clustering ~retries ~fallback ~gc =
   match method_ with
   | Monolithic -> [ Fresh (Monolithic, Img.Partition.No_clustering) ]
   | Partitioned strategy ->
-    (Fresh (Partitioned strategy, clustering)
-     :: List.init (max 0 retries) (fun _ -> Reorder_retry (strategy, clustering)))
-    @
-    if fallback then
-      [ Fresh
-          ( Partitioned (alternative_strategy strategy),
-            alternative_clustering clustering );
-        Fresh (Monolithic, Img.Partition.No_clustering) ]
-    else []
+    List.concat
+      [ [ Fresh (Partitioned strategy, clustering) ];
+        (* collecting is much cheaper than the reorder rebuild: try it
+           first when the manager runs with GC enabled *)
+        (if gc then [ Gc_retry (Partitioned strategy, clustering) ] else []);
+        List.init (max 0 retries) (fun _ ->
+            Reorder_retry (strategy, clustering));
+        (if fallback then
+           [ Fresh
+               ( Partitioned (alternative_strategy strategy),
+                 alternative_clustering clustering );
+             Fresh (Monolithic, Img.Partition.No_clustering) ]
+         else []) ]
 
 let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
-    ?(clustering = Partitioned.default_clustering) ?fault ~method_ net
-    ~x_latches =
+    ?(clustering = Partitioned.default_clustering) ?fault ?(gc = true)
+    ~method_ net ~x_latches =
   let start = Sys.time () in
   let deadline = Option.map (fun limit -> start +. limit) time_limit in
   let fault =
@@ -140,6 +150,10 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
   in
   let finish (sp, p) method_ clustering =
     let solution, subset_states = solve_with p clustering method_ in
+    (* phase boundary: the subset construction released its roots, so
+       everything but the solution automaton and the problem's own
+       functions is dead — reclaim it before the CSF phase *)
+    if gc then ignore (M.collect p.Problem.man : int);
     let csf = Csf.csf ~runtime:rt p solution in
     (sp, p, solution, csf, subset_states)
   in
@@ -148,24 +162,45 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
     match step with
     | Fresh (m, clustering) ->
       let man = M.create () in
+      M.set_auto_gc man gc;
       current_man := Some man;
       Runtime.attach rt man;
       Runtime.enter_phase rt Runtime.Build;
       let sp, p = Split.problem ~man net ~x_latches in
       last := Some (sp, p);
       finish (sp, p) m clustering
+    | Gc_retry (m, clustering) when !last = None ->
+      (* the failed attempt died while still constructing the problem:
+         nothing worth collecting survives, so retry from scratch *)
+      run_step (Fresh (m, clustering))
+    | Gc_retry (m, clustering) ->
+      let sp, prev = Option.get !last in
+      (* reclaim every node the failed attempt left dead on the same
+         manager before paying for a reorder rebuild; the collection also
+         wipes the operation caches *)
+      Runtime.detach rt prev.Problem.man;
+      (* temporaries the failed attempt left on the operation stack are
+         stale: drop them before collecting so they don't keep the failed
+         construction alive *)
+      M.reset_op_stack prev.Problem.man;
+      ignore (M.collect prev.Problem.man : int);
+      current_man := Some prev.Problem.man;
+      Runtime.attach rt prev.Problem.man;
+      Runtime.enter_phase rt Runtime.Build;
+      finish (sp, prev) m clustering
     | Reorder_retry (strategy, clustering) when !last = None ->
       (* the failed attempt died while still constructing the problem:
          there is nothing to migrate, so retry from scratch *)
       run_step (Fresh (Partitioned strategy, clustering))
     | Reorder_retry (strategy, clustering) ->
       let sp, prev = Option.get !last in
-      (* rung 1: drop the stale operation caches, migrate to a reordered
-         fresh manager, and retry the partitioned strategy with the
-         remaining budget *)
+      (* drop the stale operation caches, migrate to a reordered fresh
+         manager, and retry the partitioned strategy with the remaining
+         budget *)
       Runtime.detach rt prev.Problem.man;
       M.clear_caches prev.Problem.man;
       let p = Problem.reorder prev in
+      M.set_auto_gc p.Problem.man gc;
       last := Some (sp, p);
       current_man := Some p.Problem.man;
       Runtime.attach rt p.Problem.man;
@@ -187,7 +222,9 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
         phase = Runtime.phase rt;
         subset_states = Runtime.subset_states rt;
         peak_nodes =
-          (match !current_man with Some m -> M.num_nodes m | None -> 0);
+          (match !current_man with
+           | Some m -> M.peak_live_nodes m
+           | None -> 0);
         cpu_seconds = Sys.time () -. t0;
         failure }
       :: !attempts
@@ -217,7 +254,7 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
         csf_states = Csf.num_states csf;
         subset_states;
         cpu_seconds = Sys.time () -. start;
-        peak_nodes = M.num_nodes p.Problem.man;
+        peak_nodes = M.peak_live_nodes p.Problem.man;
         attempts = List.rev !attempts }
   in
   let rec descend = function
@@ -245,7 +282,7 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
         cnc "time limit exceeded")
   in
   Obs.Span.with_ "solve" (fun () ->
-      descend (ladder ~method_ ~clustering ~retries ~fallback))
+      descend (ladder ~method_ ~clustering ~retries ~fallback ~gc))
 
 let verify ?runtime r =
   ( Verify.particular_contained ?runtime r.problem r.split r.csf,

@@ -5,6 +5,9 @@
     "CNC") and recovers from node-limit blow-ups with a graceful-degradation
     ladder:
 
+    + collect garbage on the failed attempt's manager
+      ({!Bdd.Manager.collect}) and retry the same configuration in place —
+      the cheapest rung, skipped when [gc:false];
     + clear the operation caches, migrate the instance to a FORCE-reordered
       fresh manager ({!Problem.reorder}) and retry the partitioned strategy
       (up to [retries] times, default 1);
@@ -31,7 +34,8 @@ val method_label : method_ -> string
 
 (** One failed solve attempt, oldest first in the histories below. *)
 type attempt = {
-  label : string;  (** which rung: {!method_label} or ["reorder-retry"] *)
+  label : string;
+      (** which rung: {!method_label}, ["gc-retry"] or ["reorder-retry"] *)
   kernel : string;
       (** image-kernel configuration of the rung — clustering and
           quantification schedule, e.g. ["affinity:500/greedy"],
@@ -83,6 +87,7 @@ val solve_split :
   ?fallback:bool ->
   ?clustering:Img.Partition.clustering ->
   ?fault:Runtime.Fault.t ->
+  ?gc:bool ->
   method_:method_ ->
   Network.Netlist.t ->
   x_latches:string list ->
@@ -97,7 +102,11 @@ val solve_split :
     clustered and unclustered, so a clustering that blows up is retried
     fully partitioned (and vice versa). [fault] injects a deterministic
     fault for testing; when omitted, the [LESOLVE_FAULT] environment
-    variable is consulted ({!Runtime.Fault.from_env}). *)
+    variable is consulted ({!Runtime.Fault.from_env}). [gc] (default
+    [true]) enables mark-and-sweep collection on every manager the solve
+    creates, an explicit collection between the subset-construction and
+    CSF phases, and the gc-retry rung of the ladder; [gc:false] restores
+    the grow-only allocation behaviour. *)
 
 val verify : ?runtime:Runtime.t -> report -> bool * bool
 (** [(particular_contained, composition_equals_spec)] for a completed run.

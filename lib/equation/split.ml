@@ -88,6 +88,8 @@ let problem ?man ?observed_inputs net ~x_latches =
 
 let particular_solution (p : Problem.t) (sp : t) =
   let man = p.Problem.man in
+  (* guards accumulate in [edges] before [make] pins them: build frozen *)
+  Bdd.Manager.with_frozen man @@ fun () ->
   let k = List.length sp.x_latch_names in
   if k > 12 then
     invalid_arg "Split.particular_solution: too many latches to enumerate";

@@ -9,7 +9,10 @@ let c_memo_hits = Obs.Counter.make "subset.split_memo_hits"
    (canonical BDDs make the coincidence detectable by id equality), so the
    enumeration below is memoized per solve on the canonical id of [p]. The
    table belongs to one manager and one [ns_cube]; callers create one table
-   per construction. *)
+   per construction. A caller that lets the manager collect garbage during
+   the construction must pass [roots] so the memo keys and the arcs stay
+   live: a swept-and-reused id would otherwise alias a different function
+   on a later hit. *)
 type memo = (int, (int * int) list) Hashtbl.t
 
 let memo_table () : memo = Hashtbl.create 64
@@ -21,7 +24,7 @@ let describe_symbol man lits =
          Printf.sprintf "%s=%d" (M.var_name man v) (if b then 1 else 0))
        lits)
 
-let split_successors ?runtime ?memo man ~p ~alphabet ~ns_cube =
+let split_successors ?runtime ?memo ?roots man ~p ~alphabet ~ns_cube =
   if !Obs.on then Obs.Counter.bump c_calls;
   match
     match memo with None -> None | Some tbl -> Hashtbl.find_opt tbl p
@@ -31,6 +34,9 @@ let split_successors ?runtime ?memo man ~p ~alphabet ~ns_cube =
     arcs
   | None ->
   let tick = Runtime.ticker runtime in
+  (* the loop below holds [domain] and the accumulated arcs in OCaml
+     locals across further allocation: run it frozen *)
+  M.with_frozen man @@ fun () ->
   let rec go domain acc =
     if domain = M.zero then acc
     else begin
@@ -61,5 +67,14 @@ let split_successors ?runtime ?memo man ~p ~alphabet ~ns_cube =
     end
   in
   let arcs = go (O.exists man ns_cube p) [] in
+  (match roots with
+   | Some rs ->
+     ignore (M.Roots.add rs p : int);
+     List.iter
+       (fun (guard, successor) ->
+         ignore (M.Roots.add rs guard : int);
+         ignore (M.Roots.add rs successor : int))
+       arcs
+   | None -> ());
   Option.iter (fun tbl -> Hashtbl.replace tbl p arcs) memo;
   arcs

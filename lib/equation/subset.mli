@@ -15,6 +15,7 @@ val memo_table : unit -> memo
 val split_successors :
   ?runtime:Runtime.t ->
   ?memo:memo ->
+  ?roots:Bdd.Manager.Roots.set ->
   Bdd.Manager.t ->
   p:int ->
   alphabet:int list ->
@@ -26,6 +27,12 @@ val split_successors :
     cofactor. With [runtime], {!Runtime.tick} runs once per enumerated
     successor class, so a state with very many classes still honours the
     budget.
+
+    The enumeration itself runs with garbage collection frozen. A caller
+    that keeps a [memo] across allocating work in a collecting manager must
+    pass [roots]: the memo key [p] and every arc component are then added
+    to the set, keeping the memoized ids live for the lifetime of the
+    construction.
 
     Raises [Invalid_argument] with a description of the offending symbol
     when the inputs break the contract — when [alphabet] does not cover

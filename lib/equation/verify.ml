@@ -12,6 +12,10 @@ let particular_contained ?runtime (p : Problem.t) (sp : Split.t) (x : A.t) =
   enter_verify runtime;
   let tick = Runtime.ticker runtime in
   let man = p.Problem.man in
+  (* the σ cubes queued below are tiny but held across allocation in plain
+     tables; the whole walk allocates a bounded number of small cubes, so
+     run it frozen rather than pinning each one *)
+  M.with_frozen man @@ fun () ->
   if A.num_states x = 0 then false
   else begin
     (* quantify the bank's outputs and any observed inputs to obtain the
@@ -64,6 +68,8 @@ let composition_with_machine ?runtime
   let man = p.Problem.man in
   let f = p.Problem.f_sym and s = p.Problem.s_sym in
   let module NS = Network.Symbolic in
+  M.with_roots man @@ fun rs ->
+  let pin id = ignore (M.Roots.add rs id : int) in
   (* synthesize the machine and give it fresh interleaved state variables *)
   let xnet = Machine.to_netlist machine in
   let pairs =
@@ -82,31 +88,41 @@ let composition_with_machine ?runtime
       ~next_state_vars:(List.map snd pairs)
       xnet
   in
-  (* the machine's outputs are named after the v variables *)
-  let v_definitions =
-    List.map2
-      (fun vvar vname ->
-        O.bxnor man (O.var_bdd man vvar) (NS.output_fn x_sym vname))
-      p.Problem.v_vars p.Problem.v_names
+  (* the prologue chains part-list builders whose results live in plain
+     lists: build frozen, then pin what the fixpoint keeps *)
+  let parts, v_definitions, conformance, nonconformance, init =
+    M.with_frozen man @@ fun () ->
+    (* the machine's outputs are named after the v variables *)
+    let v_definitions =
+      List.map2
+        (fun vvar vname ->
+          O.bxnor man (O.var_bdd man vvar) (NS.output_fn x_sym vname))
+        p.Problem.v_vars p.Problem.v_names
+    in
+    let x_transitions =
+      List.map
+        (fun (nsv, fn) -> O.bxnor man (O.var_bdd man nsv) fn)
+        (NS.transition_parts x_sym)
+    in
+    let parts =
+      Problem.transition_parts p @ Problem.u_relation_parts p @ v_definitions
+      @ x_transitions
+    in
+    let conformance = O.conj man (Problem.conformance_parts p) in
+    let init =
+      O.conj man [ f.NS.init_cube; s.NS.init_cube; x_sym.NS.init_cube ]
+    in
+    (parts, v_definitions, conformance, O.bnot man conformance, init)
   in
-  let x_transitions =
-    List.map
-      (fun (nsv, fn) -> O.bxnor man (O.var_bdd man nsv) fn)
-      (NS.transition_parts x_sym)
-  in
-  let parts =
-    Problem.transition_parts p @ Problem.u_relation_parts p @ v_definitions
-    @ x_transitions
-  in
+  List.iter pin parts;
+  pin conformance;
+  pin nonconformance;
+  pin init;
   let quantify =
     p.Problem.i_vars @ p.Problem.u_vars @ p.Problem.v_vars
     @ Problem.state_vars p @ x_sym.NS.state_vars
   in
   let rename_pairs = Problem.ns_to_cs p @ NS.ns_to_cs x_sym in
-  let conformance = O.conj man (Problem.conformance_parts p) in
-  let init =
-    O.conj man [ f.NS.init_cube; s.NS.init_cube; x_sym.NS.init_cube ]
-  in
   let image frontier =
     let rels = frontier :: parts in
     let img =
@@ -116,28 +132,53 @@ let composition_with_machine ?runtime
       | Img.Image.Partitioned order ->
         Img.Quantify.and_exists_list man ~order rels ~quantify
     in
-    O.rename man img rename_pairs
+    M.stack_push man img;
+    let renamed = O.rename man img rename_pairs in
+    M.stack_drop man 1;
+    renamed
   in
   (* a composed state is bad when for some input the outputs of F (driven
      by the machine's v) and S differ *)
   let bad frontier =
     Img.Quantify.and_exists_list man
-      (frontier :: O.bnot man conformance :: v_definitions)
+      (frontier :: nonconformance :: v_definitions)
       ~quantify:(p.Problem.i_vars @ p.Problem.v_vars)
     <> M.zero
   in
-  let rec loop reached frontier =
+  (* rotate the protected fixpoint state so superseded iterates become
+     collectable immediately *)
+  let protect_state id = if not (M.is_const id) then M.protect man id in
+  let release_state id = if not (M.is_const id) then M.release man id in
+  let reached = ref init and frontier = ref init in
+  protect_state !reached;
+  protect_state !frontier;
+  Fun.protect
+    ~finally:(fun () ->
+      release_state !reached;
+      release_state !frontier)
+  @@ fun () ->
+  let rec loop () =
     tick ();
     if !Obs.on then Obs.Counter.bump c_frontier;
-    if frontier = M.zero then true
-    else if bad frontier then false
+    if !frontier = M.zero then true
+    else if bad !frontier then false
     else begin
-      let img = image frontier in
-      let fresh = O.bdiff man img reached in
-      loop (O.bor man reached fresh) fresh
+      let img = image !frontier in
+      M.stack_push man img;
+      let fresh = O.bdiff man img !reached in
+      M.stack_push man fresh;
+      let reached' = O.bor man !reached fresh in
+      M.stack_drop man 2;
+      protect_state reached';
+      protect_state fresh;
+      release_state !reached;
+      release_state !frontier;
+      reached := reached';
+      frontier := fresh;
+      loop ()
     end
   in
-  loop init init
+  loop ()
 
 let composition_equals_spec ?runtime
     ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
@@ -147,22 +188,35 @@ let composition_equals_spec ?runtime
   let man = p.Problem.man in
   let f = p.Problem.f_sym and s = p.Problem.s_sym in
   let module NS = Network.Symbolic in
-  let parts =
-    Problem.transition_parts p @ Problem.u_relation_parts p
+  M.with_roots man @@ fun rs ->
+  let pin id = ignore (M.Roots.add rs id : int) in
+  let parts, init, good =
+    M.with_frozen man @@ fun () ->
+    let parts =
+      Problem.transition_parts p @ Problem.u_relation_parts p
+    in
+    let conformance = O.conj man (Problem.conformance_parts p) in
+    let init =
+      O.conj man
+        [ f.NS.init_cube;
+          s.NS.init_cube;
+          O.cube_of_literals man
+            (List.map2 (fun v b -> (v, b)) p.Problem.v_vars sp.Split.x_init) ]
+    in
+    (* states whose outputs conform for every input *)
+    let good =
+      O.forall man (O.cube_of_vars man p.Problem.i_vars) conformance
+    in
+    (parts, init, good)
   in
+  List.iter pin parts;
+  pin init;
+  pin good;
   let quantify =
     p.Problem.i_vars @ p.Problem.v_vars @ Problem.state_vars p
   in
   let rename_pairs =
     Problem.ns_to_cs p @ List.combine p.Problem.u_vars p.Problem.v_vars
-  in
-  let conformance = O.conj man (Problem.conformance_parts p) in
-  let init =
-    O.conj man
-      [ f.NS.init_cube;
-        s.NS.init_cube;
-        O.cube_of_literals man
-          (List.map2 (fun v b -> (v, b)) p.Problem.v_vars sp.Split.x_init) ]
   in
   let image frontier =
     let rels = frontier :: parts in
@@ -173,23 +227,43 @@ let composition_equals_spec ?runtime
       | Img.Image.Partitioned order ->
         Img.Quantify.and_exists_list man ~order rels ~quantify
     in
-    O.rename man img rename_pairs
+    M.stack_push man img;
+    let renamed = O.rename man img rename_pairs in
+    M.stack_drop man 1;
+    renamed
   in
-  let rec loop reached frontier =
+  let protect_state id = if not (M.is_const id) then M.protect man id in
+  let release_state id = if not (M.is_const id) then M.release man id in
+  let reached = ref init and frontier = ref init in
+  protect_state !reached;
+  protect_state !frontier;
+  Fun.protect
+    ~finally:(fun () ->
+      release_state !reached;
+      release_state !frontier)
+  @@ fun () ->
+  let rec loop () =
     tick ();
     if !Obs.on then Obs.Counter.bump c_frontier;
-    if frontier = M.zero then true
+    if !frontier = M.zero then true
     else if
       (* ∃ reachable composed state, ∃ input: outputs of F×X_P and S differ *)
-      O.bdiff man frontier (O.forall man
-                              (O.cube_of_vars man p.Problem.i_vars)
-                              conformance)
-      <> M.zero
+      O.bdiff man !frontier good <> M.zero
     then false
     else begin
-      let img = image frontier in
-      let fresh = O.bdiff man img reached in
-      loop (O.bor man reached fresh) fresh
+      let img = image !frontier in
+      M.stack_push man img;
+      let fresh = O.bdiff man img !reached in
+      M.stack_push man fresh;
+      let reached' = O.bor man !reached fresh in
+      M.stack_drop man 2;
+      protect_state reached';
+      protect_state fresh;
+      release_state !reached;
+      release_state !frontier;
+      reached := reached';
+      frontier := fresh;
+      loop ()
     end
   in
-  loop init init
+  loop ()

@@ -11,6 +11,9 @@ type method_stats = {
   and_exists_hit_rate : float;
   split_memo_hits : int;
   subset_states : int;
+  gc_runs : int;
+  gc_nodes_swept : int;
+  gc_dead_ratio : float;
   completed : bool;
 }
 
@@ -36,6 +39,9 @@ let with_stats solve =
   let ae_hits0 = Obs.Counter.find "bdd.cache.hits.and_exists" in
   let ae_lookups0 = Obs.Counter.find "bdd.cache.lookups.and_exists" in
   let memo0 = Obs.Counter.find "subset.split_memo_hits" in
+  let gc_runs0 = Obs.Counter.find "bdd.gc.runs" in
+  let gc_swept0 = Obs.Counter.find "bdd.gc.nodes_swept" in
+  let alloc0 = Obs.Counter.find "bdd.nodes_created" in
   let outcome = solve () in
   let image_calls = Obs.Counter.find "image.calls" - img0 in
   let hits = Obs.Counter.find "bdd.cache.hits" - hits0 in
@@ -45,11 +51,15 @@ let with_stats solve =
     Obs.Counter.find "bdd.cache.lookups.and_exists" - ae_lookups0
   in
   let split_memo_hits = Obs.Counter.find "subset.split_memo_hits" - memo0 in
+  let gc_runs = Obs.Counter.find "bdd.gc.runs" - gc_runs0 in
+  let gc_nodes_swept = Obs.Counter.find "bdd.gc.nodes_swept" - gc_swept0 in
+  let allocated = Obs.Counter.find "bdd.nodes_created" - alloc0 in
   let rate hits lookups =
     if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
   in
   let cache_hit_rate = rate hits lookups in
   let and_exists_hit_rate = rate and_exists_hits and_exists_lookups in
+  let gc_dead_ratio = rate gc_nodes_swept allocated in
   let time_s, peak_nodes, subset_states, completed =
     match outcome with
     | S.Completed r ->
@@ -63,7 +73,7 @@ let with_stats solve =
   ( outcome,
     { time_s; peak_nodes; image_calls; cache_hit_rate; and_exists_lookups;
       and_exists_hits; and_exists_hit_rate; split_memo_hits; subset_states;
-      completed } )
+      gc_runs; gc_nodes_swept; gc_dead_ratio; completed } )
 
 let run_row ?(time_limit = default_time_limit)
     ?(node_limit = default_node_limit) ?retries ?fallback
@@ -161,6 +171,9 @@ let method_stats_fields (s : method_stats) =
     ("and_exists_hit_rate", Obs.Json.Float s.and_exists_hit_rate);
     ("split_memo_hits", Obs.Json.Int s.split_memo_hits);
     ("subset_states", Obs.Json.Int s.subset_states);
+    ("gc_runs", Obs.Json.Int s.gc_runs);
+    ("gc_nodes_swept", Obs.Json.Int s.gc_nodes_swept);
+    ("gc_dead_ratio", Obs.Json.Float s.gc_dead_ratio);
     ("completed", Obs.Json.Bool s.completed) ]
 
 let bench_json ?(time_limit = default_time_limit)

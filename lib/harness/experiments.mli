@@ -19,6 +19,11 @@ type method_stats = {
   split_memo_hits : int;
       (** successor-splitting memo hits ([Subset.split_memo_hits] delta) *)
   subset_states : int;
+  gc_runs : int;  (** mark-and-sweep collections over the solve *)
+  gc_nodes_swept : int;  (** nodes reclaimed by those collections *)
+  gc_dead_ratio : float;
+      (** [gc_nodes_swept / nodes allocated during the solve]; [0.] when
+          observability was disabled or the collector never ran *)
   completed : bool;  (** [false] when the outcome was CNC *)
 }
 
@@ -77,7 +82,8 @@ val bench_json :
     "node_limit":..., "circuits":[{"name":..., "time_s":..., "peak_nodes":...,
     "image_calls":..., "cache_hit_rate":..., "and_exists_lookups":...,
     "and_exists_hits":..., "and_exists_hit_rate":..., "split_memo_hits":...,
-    "subset_states":..., "completed":..., "monolithic":{...}}]}]. Per-circuit
+    "subset_states":..., "gc_runs":..., "gc_nodes_swept":...,
+    "gc_dead_ratio":..., "completed":..., "monolithic":{...}}]}]. Per-circuit
     fields describe the partitioned flow; the nested ["monolithic"] object
     carries the same fields for the monolithic flow. Image-call counts and
     cache rates are populated only when observability was enabled during the

@@ -51,6 +51,10 @@ let setup net1 net2 =
 
 let check ?(strategy = Image.Partitioned Quantify.Greedy) net1 net2 =
   let man, i_vars, sym1, sym2 = setup net1 net2 in
+  (* the onion of frontiers and the relation parts live in plain OCaml
+     lists for the whole exploration; freeze rather than pin piecemeal —
+     equivalence checking is an oracle, not the solver's hot path *)
+  M.with_frozen man @@ fun () ->
   let parts = S.transition_parts sym1 @ S.transition_parts sym2 in
   let rel_parts =
     List.map (fun (v, fn) -> O.bxnor man (O.var_bdd man v) fn) parts

@@ -2,7 +2,11 @@ module O = Bdd.Ops
 
 type t = { man : Bdd.Manager.t; parts : int list }
 
+(* constructors and clustering hold part lists the collector cannot see,
+   so they run frozen; the finished partition's parts are the caller's to
+   pin for however long the partition is used *)
 let of_functions man pairs =
+  Bdd.Manager.with_frozen man @@ fun () ->
   { man;
     parts = List.map (fun (v, fn) -> O.bxnor man (O.var_bdd man v) fn) pairs }
 
@@ -11,6 +15,7 @@ let of_relations man parts = { man; parts }
 let cluster t ~threshold =
   if threshold <= 1 then t
   else begin
+    Bdd.Manager.with_frozen t.man @@ fun () ->
     let rec go acc current = function
       | [] -> List.rev (match current with None -> acc | Some c -> c :: acc)
       | p :: rest -> (
@@ -42,6 +47,7 @@ let jaccard s1 s2 =
 let cluster_affinity t ~threshold =
   if threshold <= 1 then t
   else begin
+    Bdd.Manager.with_frozen t.man @@ fun () ->
     let supp p = List.sort_uniq compare (O.support t.man p) in
     let items = ref (List.map (fun p -> (p, supp p)) t.parts) in
     (* pairs whose conjunction exceeded the threshold, by BDD id *)
@@ -96,6 +102,10 @@ let describe_clustering = function
   | Adjacent threshold -> Printf.sprintf "adjacent:%d" threshold
   | Affinity threshold -> Printf.sprintf "affinity:%d" threshold
 
-let monolithic t = O.conj t.man t.parts
+let monolithic t =
+  List.iter (Bdd.Manager.stack_push t.man) t.parts;
+  let r = O.conj t.man t.parts in
+  Bdd.Manager.stack_drop t.man (List.length t.parts);
+  r
 
 let size t = O.size_shared t.man t.parts

@@ -15,6 +15,11 @@ let and_exists_list m ?(order = Greedy) rels ~quantify =
   List.iter (fun v -> Hashtbl.replace qset v ()) quantify;
   let quantifiable v = Hashtbl.mem qset v in
   let parts = Array.of_list rels in
+  (* pin the conjuncts for the whole sweep; the accumulator is re-pinned
+     step by step so each dead intermediate becomes collectable as soon as
+     the next one replaces it — that rotation is where the GC recovers the
+     image computation's peak *)
+  Array.iter (M.stack_push m) parts;
   let supports = Array.map (O.support m) parts in
   let used = Array.make (Array.length parts) false in
   let occ = Hashtbl.create 16 in
@@ -93,6 +98,11 @@ let and_exists_list m ?(order = Greedy) rels ~quantify =
        done);
     !best
   in
+  let finally () =
+    M.stack_drop m (Array.length parts);
+    if not (M.is_const !acc) then M.release m !acc
+  in
+  Fun.protect ~finally @@ fun () ->
   let steps = Array.length parts in
   for _ = 1 to steps do
     let k = pick () in
@@ -104,7 +114,12 @@ let and_exists_list m ?(order = Greedy) rels ~quantify =
         (List.sort_uniq compare (supports.(k) @ !acc_supp))
     in
     let cube = O.cube_of_vars m dying in
-    acc := O.and_exists m cube !acc parts.(k);
+    M.stack_push m cube;
+    let acc' = O.and_exists m cube !acc parts.(k) in
+    M.stack_drop m 1;
+    if not (M.is_const acc') then M.protect m acc';
+    if not (M.is_const !acc) then M.release m !acc;
+    acc := acc';
     if !Obs.on then begin
       Obs.Counter.bump c_conj;
       Obs.Gauge.set_max g_peak_intermediate (O.size m !acc)
@@ -117,14 +132,26 @@ let and_exists_list m ?(order = Greedy) rels ~quantify =
   !acc
 
 let monolithic_and_exists m rels ~quantify =
+  List.iter (M.stack_push m) rels;
   let product = O.conj m rels in
+  M.stack_push m product;
   if !Obs.on then begin
     Obs.Counter.add c_conj (max 0 (List.length rels - 1));
     Obs.Gauge.set_max g_peak_intermediate (O.size m product)
   end;
-  O.exists m (O.cube_of_vars m quantify) product
+  let cube = O.cube_of_vars m quantify in
+  M.stack_push m cube;
+  let r = O.exists m cube product in
+  M.stack_drop m (List.length rels + 2);
+  r
 
 let and_forall_list m ?order rels ~quantify =
   ignore order;
+  List.iter (M.stack_push m) rels;
   let product = O.conj m rels in
-  O.forall m (O.cube_of_vars m quantify) product
+  M.stack_push m product;
+  let cube = O.cube_of_vars m quantify in
+  M.stack_push m cube;
+  let r = O.forall m cube product in
+  M.stack_drop m (List.length rels + 2);
+  r

@@ -49,6 +49,11 @@ let build man ~input_vars ~state_vars ~next_state_vars (net : Netlist.t) =
     List.length state_vars <> List.length net.latches
     || List.length next_state_vars <> List.length net.latches
   then invalid_arg "Symbolic.build: state variable count mismatch";
+  (* [bdd_of_net] holds unpinned ids during construction, so build frozen;
+     the finished functions are protected permanently — every problem
+     derivation (transition parts, conformance) recomputes from them, so
+     they must survive all future collections *)
+  M.with_frozen man @@ fun () ->
   let n = Array.length net.drivers in
   let bdd_of_net = Array.make n (-1) in
   List.iter2
@@ -77,6 +82,9 @@ let build man ~input_vars ~state_vars ~next_state_vars (net : Netlist.t) =
          (fun id v -> (v, Netlist.latch_init net id))
          net.latches state_vars)
   in
+  List.iter (M.protect man) next_fns;
+  List.iter (fun (_, f) -> M.protect man f) output_fns;
+  M.protect man init_cube;
   { man; net; input_vars; state_vars; next_state_vars; next_fns; output_fns;
     init_cube }
 

@@ -387,7 +387,12 @@ module Stats = struct
                   (ratio "bdd.cache.hits.and_exists"
                      "bdd.cache.lookups.and_exists") );
               ( "bdd_unique_hit_rate",
-                Json.Float (ratio "bdd.unique.hits" "bdd.mk_calls") ) ] );
+                Json.Float (ratio "bdd.unique.hits" "bdd.mk_calls") );
+              (* fraction of all allocated nodes that were later reclaimed
+                 by the mark-and-sweep collector *)
+              ( "bdd_dead_ratio",
+                Json.Float (ratio "bdd.gc.nodes_swept" "bdd.nodes_created")
+              ) ] );
         ( "trace",
           Json.Obj
             [ ("recorded", Json.Int (Trace.recorded ()));

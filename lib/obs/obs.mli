@@ -166,9 +166,12 @@ module Stats : sig
            "gauges": { name: int, ... },
            "timers": { name: {"wall_s","cpu_s","count"}, ... },
            "derived": { "bdd_cache_hit_rate": float,
-                        "bdd_unique_hit_rate": float },
+                        "bdd_unique_hit_rate": float,
+                        "bdd_dead_ratio": float },
            "trace": { "recorded": int, "capacity": int } } ]}
-      The derived rates are quotients of the [bdd.cache.*] and
-      [bdd.unique.*] counters maintained by [Bdd.Manager] ([0.0] when
-      the denominators are zero, e.g. in a non-BDD process). *)
+      The derived rates are quotients of the [bdd.cache.*], [bdd.unique.*]
+      and [bdd.gc.*] counters maintained by [Bdd.Manager] ([0.0] when the
+      denominators are zero, e.g. in a non-BDD process);
+      ["bdd_dead_ratio"] is the fraction of all allocated nodes that the
+      mark-and-sweep collector later reclaimed. *)
 end

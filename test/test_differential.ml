@@ -65,6 +65,38 @@ let mismatch_clustering p =
     [ ("adjacent:200", Img.Partition.Adjacent 200);
       ("affinity:500 (default)", E.Partitioned.default_clustering) ]
 
+(* GC oracle: a solve under the mark-and-sweep collector (forced to run
+   often by a deliberately tiny initial store and a near-zero dead-ratio
+   threshold) must produce a CSF language-equivalent to a grow-only solve
+   of the same problem on the same manager. Collections performed across
+   all instances are accumulated so the test can reject a vacuous pass
+   where the collector never actually ran. *)
+let gc_collections = ref 0
+
+let mismatch_gc p =
+  let man = Bdd.Manager.create ~initial_capacity:64 () in
+  Bdd.Manager.set_auto_gc man false;
+  let _, prob = E.Split.problem ~man (netlist p) ~x_latches:(x_latches p) in
+  let csf_with gc =
+    Bdd.Manager.set_auto_gc man gc;
+    if gc then begin
+      Bdd.Manager.set_gc_threshold man 0.05;
+      ignore (Bdd.Manager.collect man : int)
+    end;
+    let sol, _ = E.Partitioned.solve prob in
+    E.Csf.csf prob sol
+  in
+  let reference = csf_with false in
+  let collected = csf_with true in
+  gc_collections := !gc_collections + Bdd.Manager.gc_runs man;
+  if not (Fsa.Language.equivalent reference collected) then
+    Some
+      (Printf.sprintf
+         "CSF under GC differs from grow-only CSF (%d vs %d states)"
+         (E.Csf.num_states collected)
+         (E.Csf.num_states reference))
+  else None
+
 (* Shrink a failing instance by dropping latches (3 is the floor: the X
    component always takes two). [failing] reports why an instance fails,
    or [None]; the returned instance still fails. *)
@@ -139,6 +171,20 @@ let test_clusterings_agree () =
            (describe p') msg' (describe p))
   done
 
+let test_gc_agrees () =
+  gc_collections := 0;
+  for i = 0 to n_instances - 1 do
+    let p = instance i in
+    match mismatch_gc p with
+    | None -> ()
+    | Some msg ->
+      let p', msg' = shrink ~failing:mismatch_gc p msg in
+      Alcotest.fail
+        (Printf.sprintf "GC changed the result on [%s]: %s (shrunk from [%s])"
+           (describe p') msg' (describe p))
+  done;
+  Alcotest.(check bool) "the collector actually ran" true (!gc_collections > 0)
+
 (* the shrinker must keep dropping latches while the failure persists,
    stop at the first non-failing size, and never go below the floor *)
 let test_shrinker () =
@@ -168,4 +214,8 @@ let () =
       ( "clustered vs unclustered",
         [ Alcotest.test_case
             (Printf.sprintf "%d random netlists" n_instances)
-            `Slow test_clusterings_agree ] ) ]
+            `Slow test_clusterings_agree ] );
+      ( "gc-on vs gc-off",
+        [ Alcotest.test_case
+            (Printf.sprintf "%d random netlists" n_instances)
+            `Slow test_gc_agrees ] ) ]

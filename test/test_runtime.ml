@@ -164,8 +164,11 @@ let test_verify_budgeted () =
 
 (* --- the degradation ladder, driven by injected faults ----------------------- *)
 
-let solve_c3 ?retries ?fallback fault =
-  E.Solve.solve_split ?retries ?fallback
+(* Most ladder-shape tests pin [gc:false]: they probe the reorder/fallback
+   rungs, and with collection enabled the cheaper gc-retry rung would
+   recover first (its own tests are below). *)
+let solve_c3 ?retries ?fallback ?gc fault =
+  E.Solve.solve_split ?retries ?fallback ?gc
     ~fault:(Result.get_ok (F.of_string fault))
     ~method_:E.Solve.default_partitioned (G.counter 3)
     ~x_latches:[ "c1"; "c2" ]
@@ -181,7 +184,9 @@ let report_of = function
 
 let test_cnc_build_phase () =
   (* the 40th allocation happens while the problem is still being built *)
-  let reason, progress = cnc_of (solve_c3 ~retries:0 ~fallback:false "mk:40") in
+  let reason, progress =
+    cnc_of (solve_c3 ~retries:0 ~fallback:false ~gc:false "mk:40")
+  in
   Alcotest.(check string) "reason" "node limit exceeded" reason;
   Alcotest.(check string) "phase" "build"
     (R.phase_name progress.E.Solve.phase_reached);
@@ -194,7 +199,7 @@ let test_cnc_build_phase () =
 let test_cnc_subset_phase () =
   (* the first image computation happens inside the subset construction *)
   let reason, progress =
-    cnc_of (solve_c3 ~retries:0 ~fallback:false "image:1")
+    cnc_of (solve_c3 ~retries:0 ~fallback:false ~gc:false "image:1")
   in
   Alcotest.(check string) "reason" "node limit exceeded" reason;
   Alcotest.(check string) "phase" "subset"
@@ -217,13 +222,31 @@ let test_cnc_csf_phase_stops_ladder () =
 
 let test_ladder_reorder_retry () =
   let clean = report_of (solve_c3 "mk:1000000") in
-  let r = report_of (solve_c3 "mk:400") in
+  let r = report_of (solve_c3 ~gc:false "mk:400") in
   Alcotest.(check string) "solved by" "reorder-retry" r.E.Solve.solved_by;
   Alcotest.(check int) "one failed attempt" 1 (List.length r.E.Solve.attempts);
   Alcotest.(check int) "same CSF" clean.E.Solve.csf_states r.E.Solve.csf_states
 
+let test_ladder_gc_retry () =
+  (* with collection enabled the gc-retry rung recovers the mk:400 failure
+     in place, before any reorder rebuild *)
+  let clean = report_of (solve_c3 "mk:1000000") in
+  let r = report_of (solve_c3 "mk:400") in
+  Alcotest.(check string) "solved by" "gc-retry" r.E.Solve.solved_by;
+  Alcotest.(check int) "one failed attempt" 1 (List.length r.E.Solve.attempts);
+  Alcotest.(check int) "same CSF" clean.E.Solve.csf_states r.E.Solve.csf_states
+
+let test_ladder_gc_retry_from_build () =
+  (* a failure during problem construction leaves nothing to collect: the
+     gc-retry rung rebuilds from scratch but still reports its own label *)
+  let r = report_of (solve_c3 "mk:40") in
+  Alcotest.(check string) "solved by" "gc-retry" r.E.Solve.solved_by;
+  Alcotest.(check (list string)) "attempt labels" [ "partitioned/greedy" ]
+    (List.map (fun (a : E.Solve.attempt) -> a.E.Solve.label)
+       r.E.Solve.attempts)
+
 let test_ladder_alternative_schedule () =
-  let r = report_of (solve_c3 "mk:40:2") in
+  let r = report_of (solve_c3 ~gc:false "mk:40:2") in
   Alcotest.(check string) "solved by" "partitioned/given" r.E.Solve.solved_by;
   Alcotest.(check (list string)) "attempt labels"
     [ "partitioned/greedy"; "reorder-retry" ]
@@ -232,7 +255,7 @@ let test_ladder_alternative_schedule () =
 
 let test_ladder_monolithic () =
   let clean = report_of (solve_c3 "mk:1000000") in
-  let r = report_of (solve_c3 "mk:40:3") in
+  let r = report_of (solve_c3 ~gc:false "mk:40:3") in
   Alcotest.(check string) "solved by" "monolithic" r.E.Solve.solved_by;
   Alcotest.(check (list string)) "attempt labels"
     [ "partitioned/greedy"; "reorder-retry"; "partitioned/given" ]
@@ -242,7 +265,7 @@ let test_ladder_monolithic () =
 
 let test_no_fallback_truncates_ladder () =
   let reason, progress =
-    cnc_of (solve_c3 ~retries:1 ~fallback:false "mk:40:4")
+    cnc_of (solve_c3 ~retries:1 ~fallback:false ~gc:false "mk:40:4")
   in
   Alcotest.(check string) "reason" "node limit exceeded" reason;
   Alcotest.(check (list string)) "only the retry rung ran"
@@ -271,23 +294,34 @@ let test_monolithic_single_attempt () =
    fits this instance inside the budget on the first try. *)
 let test_real_circuit_ladder_recovery () =
   let row = Circuits.Suite.find "t298" in
-  let solve ~retries ~fallback =
-    E.Solve.solve_split ~node_limit:60_000 ~retries ~fallback
+  let solve ?(gc = false) ~retries ~fallback () =
+    E.Solve.solve_split ~node_limit:60_000 ~retries ~fallback ~gc
       ~clustering:Img.Partition.No_clustering
       ~method_:E.Solve.default_partitioned row.Circuits.Suite.net
       ~x_latches:row.Circuits.Suite.x_latches
   in
-  (* without the ladder: CNC in the subset phase *)
-  let reason, progress = cnc_of (solve ~retries:0 ~fallback:false) in
+  (* without GC or the ladder: CNC in the subset phase (grow-only
+     allocation makes the 60k budget a real blow-up) *)
+  let reason, progress = cnc_of (solve ~retries:0 ~fallback:false ()) in
   Alcotest.(check string) "plain CNC" "node limit exceeded" reason;
   Alcotest.(check string) "phase" "subset"
     (R.phase_name progress.E.Solve.phase_reached);
   Alcotest.(check bool) "partial subset progress" true
     (progress.E.Solve.subset_states_explored > 0);
   (* with the ladder: the reorder-retry rung completes under the budget *)
-  let r = report_of (solve ~retries:1 ~fallback:true) in
+  let r = report_of (solve ~retries:1 ~fallback:true ()) in
   Alcotest.(check string) "solved by" "reorder-retry" r.E.Solve.solved_by;
   Alcotest.(check bool) "under budget" true (r.E.Solve.peak_nodes <= 60_000);
+  (* with GC enabled the node limit bounds *live* nodes, so collections
+     fit the same run under the budget without leaving the first rungs *)
+  let g = report_of (solve ~gc:true ~retries:1 ~fallback:true ()) in
+  Alcotest.(check bool) "gc run under budget" true
+    (g.E.Solve.peak_nodes <= 60_000);
+  Alcotest.(check bool) "gc run stayed on the cheap rungs" true
+    (List.mem g.E.Solve.solved_by
+       [ "partitioned/greedy"; "gc-retry"; "reorder-retry" ]);
+  Alcotest.(check int) "gc run same CSF" g.E.Solve.csf_states
+    r.E.Solve.csf_states;
   (* and the recovered CSF matches the unconstrained one *)
   match
     E.Solve.solve_split ~method_:E.Solve.default_partitioned
@@ -329,6 +363,9 @@ let () =
             test_cnc_csf_phase_stops_ladder;
           Alcotest.test_case "reorder-retry rung" `Quick
             test_ladder_reorder_retry;
+          Alcotest.test_case "gc-retry rung" `Quick test_ladder_gc_retry;
+          Alcotest.test_case "gc-retry after build failure" `Quick
+            test_ladder_gc_retry_from_build;
           Alcotest.test_case "alternative-schedule rung" `Quick
             test_ladder_alternative_schedule;
           Alcotest.test_case "monolithic rung" `Quick test_ladder_monolithic;
