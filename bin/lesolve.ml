@@ -245,9 +245,11 @@ let solve_cmd =
       report_cnc cpu_seconds reason progress
     | E.Solve.Completed r ->
       report_recovery r;
-      Format.printf "CSF: %d states (%d subset states), %.3fs, %d BDD nodes@."
-        r.E.Solve.csf_states r.E.Solve.subset_states r.E.Solve.cpu_seconds
-        r.E.Solve.peak_nodes;
+      Format.printf
+        "CSF: %d states (%d subset states, %d worklist deletions), %.3fs, \
+         %d BDD nodes@."
+        r.E.Solve.csf_states r.E.Solve.subset_states r.E.Solve.csf_deletions
+        r.E.Solve.cpu_seconds r.E.Solve.peak_nodes;
       let csf =
         if minimize then begin
           let m = Fsa.Minimize.minimize (Fsa.Ops.complete r.E.Solve.csf) in

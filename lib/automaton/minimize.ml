@@ -25,7 +25,14 @@ let refine_quotient (t : A.t) =
   M.with_frozen man @@ fun () ->
   let n = A.num_states t in
   let class_of = Array.init n (fun s -> if t.accepting.(s) then 1 else 0) in
-  let num_classes = ref 2 in
+  (* seed with the classes actually present: when acceptance is uniform
+     there is one class, not two, and a first pass splitting into exactly
+     two must still count as a change *)
+  let num_classes =
+    let seen = Hashtbl.create 4 in
+    Array.iter (fun c -> Hashtbl.replace seen c ()) class_of;
+    ref (Hashtbl.length seen)
+  in
   let changed = ref true in
   while !changed do
     changed := false;

@@ -2,27 +2,20 @@ module M = Bdd.Manager
 module O = Bdd.Ops
 module S = Network.Symbolic
 
-type stats = {
-  subset_states : int;
-  hidden_relation_nodes : int;
-  peak_nodes : int;
-}
-
-let c_expanded = Obs.Counter.make "subset.states_expanded"
-let c_image = Obs.Counter.make "image.calls"
+type stats = { subset_states : int; hidden_relation_nodes : int; peak_nodes : int }
 
 let relation_of_functions man pairs =
   O.conj man
     (List.map (fun (v, fn) -> O.bxnor man (O.var_bdd man v) fn) pairs)
 
-let solve ?runtime (p : Problem.t) =
-  let enter ph = Option.iter (fun rt -> Runtime.enter_phase rt ph) runtime in
+(* sink position in the oracle's sink table *)
+let dca = 0
+
+let oracle ?runtime ~hidden_size (p : Problem.t) rs =
   let tick = Runtime.ticker runtime in
   let man = p.Problem.man in
   let f = p.Problem.f_sym and s = p.Problem.s_sym in
-  M.with_roots man @@ fun rs ->
   let pin id = ignore (M.Roots.add rs id : int) in
-  enter Runtime.Build;
   (* The relation build chains many top-level operations whose operands
      live only in OCaml locals; it runs frozen (growing the store instead
      of collecting), and only the survivors are pinned for the subset
@@ -78,99 +71,46 @@ let solve ?runtime (p : Problem.t) =
     let ns_vars = Problem.next_state_vars p @ [ p.Problem.dc_next_var ] in
     (d, hidden, O.cube_of_vars man cs_vars, O.cube_of_vars man ns_vars)
   in
-  pin d;
-  pin hidden;
-  pin cs_cube;
-  pin ns_cube;
-  let alphabet = Problem.alphabet p in
-  let rename_pairs =
-    Problem.ns_to_cs p @ [ (p.Problem.dc_next_var, p.Problem.dc_var) ]
-  in
-  (* traditional subset construction: no trimming of bad subsets *)
-  let index = Hashtbl.create 64 in
-  let rev_subsets = ref [] in
-  let count = ref 0 in
-  let queue = Queue.create () in
-  let intern zeta =
-    match Hashtbl.find_opt index zeta with
-    | Some k -> k
-    | None ->
-      pin zeta;
-      let k = !count in
-      incr count;
-      Hashtbl.replace index zeta k;
-      rev_subsets := zeta :: !rev_subsets;
-      Queue.add zeta queue;
-      k
-  in
-  let initial =
-    intern
+  List.iter pin [ d; hidden; cs_cube; ns_cube ];
+  hidden_size := O.size man hidden;
+  let start =
+    M.Roots.add rs
       (M.with_frozen man @@ fun () ->
        O.band man (Problem.initial_cube p) (O.bnot man d))
   in
-  let split_memo = Subset.memo_table () in
-  let edges_acc = ref [] in
-  let dca = -2 in
-  let used_dca = ref false in
-  enter Runtime.Subset;
-  while not (Queue.is_empty queue) do
-    tick ();
-    Option.iter (fun rt -> Runtime.note_subset_states rt !count) runtime;
-    let zeta = Queue.pop queue in
-    let k = Hashtbl.find index zeta in
-    if !Obs.on then begin
-      Obs.Counter.bump c_expanded;
-      Obs.Counter.bump c_image
-    end;
-    Option.iter Runtime.tick_image runtime;
-    (* per-iteration intermediates ride the operation stack across the
-       allocating calls that follow them *)
+  (* traditional subset construction: one image per expanded state, no
+     early trimming of bad subsets *)
+  let successors ~split zeta =
+    Engine.note_image ?runtime ();
     let p_rel = O.and_exists man cs_cube hidden zeta in
     M.stack_push man p_rel;
     let domain = O.exists man ns_cube p_rel in
     M.stack_push man domain;
-    List.iter
-      (fun (guard, succ_ns) ->
-        let zeta' = O.rename man succ_ns rename_pairs in
-        edges_acc := (k, guard, intern zeta') :: !edges_acc)
-      (Subset.split_successors ?runtime ~memo:split_memo ~roots:rs man
-         ~p:p_rel ~alphabet ~ns_cube);
+    let arcs = split p_rel in
     let to_dca = O.bnot man domain in
     M.stack_drop man 2;
-    if to_dca <> M.zero then begin
-      used_dca := true;
-      pin to_dca;
-      edges_acc := (k, to_dca, dca) :: !edges_acc
-    end
-  done;
-  let n_subsets = !count in
-  let dca_id = if !used_dca then Some n_subsets else None in
-  let n = n_subsets + if !used_dca then 1 else 0 in
-  let subsets = Array.of_list (List.rev !rev_subsets) in
-  (* acceptance after the final complementation: a subset is accepting iff
-     it contains no state of the complemented specification's DC (= no
-     product state with d = 1); the completion sink becomes accepting. *)
-  let accepting =
-    Array.init n (fun k ->
-        if dca_id = Some k then true else O.band man subsets.(k) d = M.zero)
+    if to_dca <> M.zero then arcs @ [ (to_dca, Engine.Sink dca) ] else arcs
   in
-  let names =
-    Array.init n (fun k ->
-        if dca_id = Some k then "DCA" else Printf.sprintf "Z%d" k)
+  { Engine.start;
+    ns_cube;
+    rename = Problem.ns_to_cs p @ [ (p.Problem.dc_next_var, p.Problem.dc_var) ];
+    sinks = [ { Engine.sink_name = "DCA"; sink_accepting = true } ];
+    successors;
+    (* acceptance after the final complementation: a subset is accepting
+       iff it contains no state of the complemented specification's DC
+       (= no product state with d = 1); the completion sink is accepting *)
+    is_accepting = (fun zeta -> O.band man zeta d = M.zero) }
+
+let solve_arena ?runtime (p : Problem.t) =
+  let hidden_size = ref 0 in
+  let arena, subset_states =
+    Engine.run ?runtime p.Problem.man ~alphabet:(Problem.alphabet p)
+      (oracle ?runtime ~hidden_size p)
   in
-  let edges = Array.make n [] in
-  List.iter
-    (fun (k, g, dst) ->
-      let dst = if dst = dca then Option.get dca_id else dst in
-      edges.(k) <- (g, dst) :: edges.(k))
-    !edges_acc;
-  (match dca_id with
-   | Some k -> edges.(k) <- [ (M.one, k) ]
-   | None -> ());
-  let solution =
-    Fsa.Automaton.make man ~alphabet ~initial ~accepting ~edges ~names ()
-  in
-  ( solution,
-    { subset_states = n_subsets;
-      hidden_relation_nodes = O.size man hidden;
-      peak_nodes = M.peak_live_nodes man } )
+  ( arena,
+    { subset_states; hidden_relation_nodes = !hidden_size;
+      peak_nodes = M.peak_live_nodes p.Problem.man } )
+
+let solve ?runtime p =
+  let arena, stats = solve_arena ?runtime p in
+  (Engine.to_automaton arena, stats)

@@ -22,3 +22,7 @@ type stats = {
 }
 
 val solve : ?runtime:Runtime.t -> Problem.t -> Fsa.Automaton.t * stats
+
+val solve_arena : ?runtime:Runtime.t -> Problem.t -> Engine.arena * stats
+(** Same construction as {!solve}, returning the engine's arc arena
+    instead of a materialized automaton (see {!Partitioned.solve_arena}). *)

@@ -1,16 +1,9 @@
 module M = Bdd.Manager
 module O = Bdd.Ops
 
-type stats = {
-  subset_states : int;
-  image_computations : int;
-  peak_nodes : int;
-}
+type stats = { subset_states : int; image_computations : int; peak_nodes : int }
 
 type q_mode = Per_output | Combined
-
-let c_expanded = Obs.Counter.make "subset.states_expanded"
-let c_image = Obs.Counter.make "image.calls"
 
 (* Bench ablation: adjacent clustering at thresholds 1/100/1000/10000 gives
    145/59/63/91 ms on t298 — the sweet spot is a few hundred nodes. The
@@ -18,33 +11,20 @@ let c_image = Obs.Counter.make "image.calls"
    instead of list adjacency. *)
 let default_clustering = Img.Partition.Affinity 500
 
-let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
-    ?(q_mode = Combined) ?(clustering = default_clustering) ?on_state
-    (p : Problem.t) =
-  let notify k = match on_state with Some f -> f k | None -> () in
-  let enter ph = Option.iter (fun rt -> Runtime.enter_phase rt ph) runtime in
-  let tick = Runtime.ticker runtime in
+(* sink positions in the oracle's sink table *)
+let dcn = 0
+and dca = 1
+
+let oracle ?runtime ~strategy ~q_mode ~clustering ~images (p : Problem.t) rs =
   let man = p.Problem.man in
-  let images = ref 0 in
-  (* Everything the construction keeps across image computations — the
-     relation parts, the interned subset states, the edge guards and the
-     split-memo arcs — is registered in one root set scoped to the solve,
-     so the manager is free to collect dead image intermediates at any
-     allocation point in between. *)
-  M.with_roots man @@ fun rs ->
   let pin id = ignore (M.Roots.add rs id : int) in
-  enter Runtime.Build;
   let quantified = Problem.hidden_inputs p @ Problem.state_vars p in
-  let alphabet = Problem.alphabet p in
   let ns_cube = O.cube_of_vars man (Problem.next_state_vars p) in
   pin ns_cube;
   let cluster parts =
-    let clustered =
-      (Img.Partition.apply (Img.Partition.of_relations man parts) clustering)
-        .Img.Partition.parts
-    in
-    List.iter pin clustered;
-    clustered
+    (Img.Partition.apply (Img.Partition.of_relations man parts) clustering)
+      .Img.Partition.parts
+    |> List.map (fun part -> M.Roots.add rs part)
   in
   let urel = cluster (Problem.u_relation_parts p) in
   let trel = cluster (Problem.transition_parts p) in
@@ -55,13 +35,7 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
   List.iter pin non_conformance;
   let conjoin_exists rels =
     incr images;
-    if !Obs.on then Obs.Counter.bump c_image;
-    Option.iter Runtime.tick_image runtime;
-    match strategy with
-    | Img.Image.Monolithic ->
-      Img.Quantify.monolithic_and_exists man rels ~quantify:quantified
-    | Img.Image.Partitioned order ->
-      Img.Quantify.and_exists_list man ~order rels ~quantify:quantified
+    Engine.image ?runtime man ~strategy rels ~quantify:quantified
   in
   (* Q_ζ(u,v): symbols under which some input causes an output of F that
      does not conform to S. [Per_output] computes one image per output, as
@@ -69,10 +43,7 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
      non-conformance conditions once (they range over (i,v,cs) only — the
      dangerous ns variables are not involved) and runs a single image. *)
   let combined_non_conformance =
-    lazy
-      (let d = O.disj man non_conformance in
-       pin d;
-       d)
+    lazy (M.Roots.add rs (O.disj man non_conformance))
   in
   let non_conforming zeta =
     match q_mode with
@@ -92,111 +63,50 @@ let solve ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
     | Combined ->
       conjoin_exists (zeta :: Lazy.force combined_non_conformance :: urel)
   in
-  let successor_relation zeta =
-    conjoin_exists ((zeta :: urel) @ trel)
-  in
-  (* Subset states are interned by their (canonical) BDD. *)
-  let index = Hashtbl.create 64 in
-  let rev_subsets = ref [] in
-  let count = ref 0 in
-  let queue = Queue.create () in
-  let intern zeta =
-    match Hashtbl.find_opt index zeta with
-    | Some k -> k
-    | None ->
-      pin zeta;
-      let k = !count in
-      incr count;
-      Hashtbl.replace index zeta k;
-      rev_subsets := zeta :: !rev_subsets;
-      Queue.add zeta queue;
-      k
-  in
-  let initial = intern (Problem.initial_cube p) in
-  let split_memo = Subset.memo_table () in
-  let edges_acc = ref [] in
-  (* sink ids are assigned after the construction, when the number of subset
-     states is known; use negative placeholders meanwhile *)
-  let dcn = -1 and dca = -2 in
-  let used_dcn = ref false and used_dca = ref false in
-  enter Runtime.Subset;
-  while not (Queue.is_empty queue) do
-    tick ();
-    Option.iter (fun rt -> Runtime.note_subset_states rt !count) runtime;
-    let zeta = Queue.pop queue in
-    let k = Hashtbl.find index zeta in
-    if !Obs.on then Obs.Counter.bump c_expanded;
-    notify k;
+  let successors ~split zeta =
     (* per-iteration intermediates ride the operation stack: each one is an
        operand of a later call in this iteration, and any allocation in
        between may trigger a collection *)
     let q = non_conforming zeta in
     M.stack_push man q;
-    let sr = successor_relation zeta in
+    let sr = conjoin_exists ((zeta :: urel) @ trel) in
     M.stack_push man sr;
     let p_rel = O.bdiff man sr q in
     M.stack_drop man 1;
     M.stack_push man p_rel;
     let domain = O.exists man ns_cube p_rel in
     M.stack_push man domain;
-    List.iter
-      (fun (guard, succ_ns) ->
-        let zeta' = O.rename man succ_ns (Problem.ns_to_cs p) in
-        edges_acc := (k, guard, intern zeta') :: !edges_acc)
-      (Subset.split_successors ?runtime ~memo:split_memo ~roots:rs man
-         ~p:p_rel ~alphabet ~ns_cube);
-    if q <> M.zero then begin
-      used_dcn := true;
-      pin q;
-      edges_acc := (k, q, dcn) :: !edges_acc
-    end;
+    let arcs = split p_rel in
+    let arcs = if q <> M.zero then arcs @ [ (q, Engine.Sink dcn) ] else arcs in
     let covered = O.bor man domain q in
     M.stack_push man covered;
     let to_dca = O.bnot man covered in
     M.stack_drop man 4;
-    if to_dca <> M.zero then begin
-      used_dca := true;
-      pin to_dca;
-      edges_acc := (k, to_dca, dca) :: !edges_acc
-    end
-  done;
-  let n_subsets = !count in
-  (* materialize sinks *)
-  let dcn_id = if !used_dcn then Some n_subsets else None in
-  let dca_id =
-    if !used_dca then Some (n_subsets + if !used_dcn then 1 else 0) else None
+    if to_dca <> M.zero then arcs @ [ (to_dca, Engine.Sink dca) ] else arcs
   in
-  let n = n_subsets + (if !used_dcn then 1 else 0)
-          + (if !used_dca then 1 else 0) in
-  let resolve d =
-    if d = dcn then Option.get dcn_id
-    else if d = dca then Option.get dca_id
-    else d
+  { Engine.start = Problem.initial_cube p;
+    ns_cube;
+    rename = Problem.ns_to_cs p;
+    sinks =
+      [ { Engine.sink_name = "DCN"; sink_accepting = false };
+        { Engine.sink_name = "DCA"; sink_accepting = true } ];
+    successors;
+    is_accepting = (fun _ -> true) }
+
+let solve_arena ?runtime ?(strategy = Img.Image.Partitioned Img.Quantify.Greedy)
+    ?(q_mode = Combined) ?(clustering = default_clustering) ?on_state
+    (p : Problem.t) =
+  let images = ref 0 in
+  let arena, subset_states =
+    Engine.run ?runtime ?on_state p.Problem.man ~alphabet:(Problem.alphabet p)
+      (oracle ?runtime ~strategy ~q_mode ~clustering ~images p)
   in
-  let accepting =
-    Array.init n (fun s ->
-        match dcn_id with Some k when s = k -> false | _ -> true)
+  ( arena,
+    { subset_states; image_computations = !images;
+      peak_nodes = M.peak_live_nodes p.Problem.man } )
+
+let solve ?runtime ?strategy ?q_mode ?clustering ?on_state p =
+  let arena, stats =
+    solve_arena ?runtime ?strategy ?q_mode ?clustering ?on_state p
   in
-  let names =
-    Array.init n (fun s ->
-        if dcn_id = Some s then "DCN"
-        else if dca_id = Some s then "DCA"
-        else Printf.sprintf "Z%d" s)
-  in
-  let edges = Array.make n [] in
-  List.iter
-    (fun (k, g, d) -> edges.(k) <- (g, resolve d) :: edges.(k))
-    !edges_acc;
-  (match dcn_id with
-   | Some k -> edges.(k) <- [ (M.one, k) ]
-   | None -> ());
-  (match dca_id with
-   | Some k -> edges.(k) <- [ (M.one, k) ]
-   | None -> ());
-  let solution =
-    Fsa.Automaton.make man ~alphabet ~initial ~accepting ~edges ~names ()
-  in
-  ( solution,
-    { subset_states = n_subsets;
-      image_computations = !images;
-      peak_nodes = M.peak_live_nodes man } )
+  (Engine.to_automaton arena, stats)

@@ -53,3 +53,16 @@ val solve :
     [Img.Partition.No_clustering] keeps one conjunct per latch/output.
     [on_state] is a progress callback invoked with each subset state index
     as it is expanded. *)
+
+val solve_arena :
+  ?runtime:Runtime.t ->
+  ?strategy:Img.Image.strategy ->
+  ?q_mode:q_mode ->
+  ?clustering:Img.Partition.clustering ->
+  ?on_state:(int -> unit) ->
+  Problem.t ->
+  Engine.arena * stats
+(** Same construction as {!solve}, returning the engine's arc arena
+    instead of a materialized automaton — the input of the worklist CSF
+    extraction ({!Csf.of_arena}). [solve p] is
+    [Engine.to_automaton (fst (solve_arena p))]. *)

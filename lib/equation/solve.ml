@@ -69,6 +69,7 @@ type report = {
   solution : Fsa.Automaton.t;
   csf : Fsa.Automaton.t;
   csf_states : int;
+  csf_deletions : int;
   subset_states : int;
   cpu_seconds : float;
   peak_nodes : int;
@@ -137,25 +138,28 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
   (* the manager of the attempt currently running, for post-mortem stats *)
   let current_man = ref None in
   let last = ref None in
-  (* one attempt = problem setup + solve + CSF extraction *)
+  (* one attempt = problem setup + solve + CSF extraction; every rung
+     routes through the engine ([solve_arena]) and the CSF worklist runs
+     on the arena the engine produced *)
   let solve_with p clustering = function
     | Partitioned strategy ->
-      let solution, stats =
-        Partitioned.solve ~runtime:rt ~strategy ~clustering p
+      let arena, stats =
+        Partitioned.solve_arena ~runtime:rt ~strategy ~clustering p
       in
-      (solution, stats.Partitioned.subset_states)
+      (arena, stats.Partitioned.subset_states)
     | Monolithic ->
-      let solution, stats = Monolithic.solve ~runtime:rt p in
-      (solution, stats.Monolithic.subset_states)
+      let arena, stats = Monolithic.solve_arena ~runtime:rt p in
+      (arena, stats.Monolithic.subset_states)
   in
   let finish (sp, p) method_ clustering =
-    let solution, subset_states = solve_with p clustering method_ in
+    let arena, subset_states = solve_with p clustering method_ in
+    let solution = Engine.to_automaton arena in
     (* phase boundary: the subset construction released its roots, so
-       everything but the solution automaton and the problem's own
-       functions is dead — reclaim it before the CSF phase *)
+       everything but the arena, the solution automaton and the problem's
+       own functions is dead — reclaim it before the CSF phase *)
     if gc then ignore (M.collect p.Problem.man : int);
-    let csf = Csf.csf ~runtime:rt p solution in
-    (sp, p, solution, csf, subset_states)
+    let csf, csf_deletions = Csf.of_arena ~runtime:rt p arena in
+    (sp, p, solution, csf, csf_deletions, subset_states)
   in
   let rec run_step step =
     Runtime.note_kernel rt (step_kernel step);
@@ -243,7 +247,7 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
           { phase_reached; subset_states_explored; peak_nodes_seen;
             attempts = history } }
   in
-  let complete label (sp, p, solution, csf, subset_states) =
+  let complete label (sp, p, solution, csf, csf_deletions, subset_states) =
     Completed
       { method_;
         solved_by = label;
@@ -252,6 +256,7 @@ let solve_split ?node_limit ?time_limit ?(retries = 1) ?(fallback = true)
         solution;
         csf;
         csf_states = Csf.num_states csf;
+        csf_deletions;
         subset_states;
         cpu_seconds = Sys.time () -. start;
         peak_nodes = M.peak_live_nodes p.Problem.man;

@@ -66,6 +66,9 @@ type report = {
   solution : Fsa.Automaton.t;  (** most general prefix-closed solution *)
   csf : Fsa.Automaton.t;
   csf_states : int;
+  csf_deletions : int;
+      (** state deletions the worklist CSF extraction performed
+          ({!Csf.of_arena}) *)
   subset_states : int;
   cpu_seconds : float;  (** total, including failed attempts *)
   peak_nodes : int;

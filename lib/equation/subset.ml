@@ -9,13 +9,33 @@ let c_memo_hits = Obs.Counter.make "subset.split_memo_hits"
    (canonical BDDs make the coincidence detectable by id equality), so the
    enumeration below is memoized per solve on the canonical id of [p]. The
    table belongs to one manager and one [ns_cube]; callers create one table
-   per construction. A caller that lets the manager collect garbage during
-   the construction must pass [roots] so the memo keys and the arcs stay
-   live: a swept-and-reused id would otherwise alias a different function
-   on a later hit. *)
-type memo = (int, (int * int) list) Hashtbl.t
+   per construction. Reuse across managers or cubes would silently return
+   garbage (node ids only mean anything relative to both), so the table is
+   stamped by its first use and any later mismatch fails fast. A caller
+   that lets the manager collect garbage during the construction must pass
+   [roots] so the memo keys and the arcs stay live: a swept-and-reused id
+   would otherwise alias a different function on a later hit. *)
+type memo = {
+  tbl : (int, (int * int) list) Hashtbl.t;
+  mutable owner : (Bdd.Manager.t * int) option;
+}
 
-let memo_table () : memo = Hashtbl.create 64
+let memo_table () : memo = { tbl = Hashtbl.create 64; owner = None }
+
+let check_owner (memo : memo) man ns_cube =
+  match memo.owner with
+  | None -> memo.owner <- Some (man, ns_cube)
+  | Some (m, c) ->
+    if m != man then
+      invalid_arg
+        "Subset.split_successors: memo table reused with a different \
+         manager (node ids are per-manager; create one table per \
+         construction)";
+    if c <> ns_cube then
+      invalid_arg
+        "Subset.split_successors: memo table reused with a different \
+         ns_cube (cached arcs quantify the original cube; create one \
+         table per construction)"
 
 let describe_symbol man lits =
   String.concat " "
@@ -26,8 +46,9 @@ let describe_symbol man lits =
 
 let split_successors ?runtime ?memo ?roots man ~p ~alphabet ~ns_cube =
   if !Obs.on then Obs.Counter.bump c_calls;
+  Option.iter (fun m -> check_owner m man ns_cube) memo;
   match
-    match memo with None -> None | Some tbl -> Hashtbl.find_opt tbl p
+    match memo with None -> None | Some m -> Hashtbl.find_opt m.tbl p
   with
   | Some arcs ->
     if !Obs.on then Obs.Counter.bump c_memo_hits;
@@ -76,5 +97,5 @@ let split_successors ?runtime ?memo ?roots man ~p ~alphabet ~ns_cube =
          ignore (M.Roots.add rs successor : int))
        arcs
    | None -> ());
-  Option.iter (fun tbl -> Hashtbl.replace tbl p arcs) memo;
+  Option.iter (fun m -> Hashtbl.replace m.tbl p arcs) memo;
   arcs

@@ -8,7 +8,9 @@ type memo
     id of [p]: distinct subset states frequently share a successor relation,
     and a memo hit skips the whole enumeration (every image-splitting BDD
     operation). A table is only valid for a single manager and a single
-    [ns_cube]. *)
+    [ns_cube]: it is stamped with both on first use, and a later call with
+    a different manager or cube raises [Invalid_argument] instead of
+    silently returning arcs that mean nothing in the new context. *)
 
 val memo_table : unit -> memo
 
@@ -37,4 +39,5 @@ val split_successors :
     Raises [Invalid_argument] with a description of the offending symbol
     when the inputs break the contract — when [alphabet] does not cover
     the support of [∃ns. P], or when an alphabet variable also occurs in
-    [ns_cube] (so no symbol has a well-defined successor class). *)
+    [ns_cube] (so no symbol has a well-defined successor class) — and
+    when [memo] was first used with a different manager or [ns_cube]. *)

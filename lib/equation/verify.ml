@@ -123,15 +123,11 @@ let composition_with_machine ?runtime
     @ Problem.state_vars p @ x_sym.NS.state_vars
   in
   let rename_pairs = Problem.ns_to_cs p @ NS.ns_to_cs x_sym in
+  (* counter-only accounting ([Engine.image] without the runtime): the
+     fixpoint images share the unified [image.calls] name but stay out of
+     the fault-injection path *)
   let image frontier =
-    let rels = frontier :: parts in
-    let img =
-      match strategy with
-      | Img.Image.Monolithic ->
-        Img.Quantify.monolithic_and_exists man rels ~quantify
-      | Img.Image.Partitioned order ->
-        Img.Quantify.and_exists_list man ~order rels ~quantify
-    in
+    let img = Engine.image man ~strategy (frontier :: parts) ~quantify in
     M.stack_push man img;
     let renamed = O.rename man img rename_pairs in
     M.stack_drop man 1;
@@ -219,14 +215,7 @@ let composition_equals_spec ?runtime
     Problem.ns_to_cs p @ List.combine p.Problem.u_vars p.Problem.v_vars
   in
   let image frontier =
-    let rels = frontier :: parts in
-    let img =
-      match strategy with
-      | Img.Image.Monolithic ->
-        Img.Quantify.monolithic_and_exists man rels ~quantify
-      | Img.Image.Partitioned order ->
-        Img.Quantify.and_exists_list man ~order rels ~quantify
-    in
+    let img = Engine.image man ~strategy (frontier :: parts) ~quantify in
     M.stack_push man img;
     let renamed = O.rename man img rename_pairs in
     M.stack_drop man 1;

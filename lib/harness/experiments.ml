@@ -11,6 +11,8 @@ type method_stats = {
   and_exists_hit_rate : float;
   split_memo_hits : int;
   subset_states : int;
+  csf_time_s : float;
+  csf_worklist_deletions : int;
   gc_runs : int;
   gc_nodes_swept : int;
   gc_dead_ratio : float;
@@ -39,6 +41,13 @@ let with_stats solve =
   let ae_hits0 = Obs.Counter.find "bdd.cache.hits.and_exists" in
   let ae_lookups0 = Obs.Counter.find "bdd.cache.lookups.and_exists" in
   let memo0 = Obs.Counter.find "subset.split_memo_hits" in
+  let csf_cpu () =
+    match Obs.Timer.find "phase.csf" with
+    | Some (_, cpu_s, _) -> cpu_s
+    | None -> 0.0
+  in
+  let csf_cpu0 = csf_cpu () in
+  let csf_del0 = Obs.Counter.find "csf.worklist_deletions" in
   let gc_runs0 = Obs.Counter.find "bdd.gc.runs" in
   let gc_swept0 = Obs.Counter.find "bdd.gc.nodes_swept" in
   let alloc0 = Obs.Counter.find "bdd.nodes_created" in
@@ -51,6 +60,10 @@ let with_stats solve =
     Obs.Counter.find "bdd.cache.lookups.and_exists" - ae_lookups0
   in
   let split_memo_hits = Obs.Counter.find "subset.split_memo_hits" - memo0 in
+  let csf_time_s = csf_cpu () -. csf_cpu0 in
+  let csf_worklist_deletions =
+    Obs.Counter.find "csf.worklist_deletions" - csf_del0
+  in
   let gc_runs = Obs.Counter.find "bdd.gc.runs" - gc_runs0 in
   let gc_nodes_swept = Obs.Counter.find "bdd.gc.nodes_swept" - gc_swept0 in
   let allocated = Obs.Counter.find "bdd.nodes_created" - alloc0 in
@@ -73,7 +86,8 @@ let with_stats solve =
   ( outcome,
     { time_s; peak_nodes; image_calls; cache_hit_rate; and_exists_lookups;
       and_exists_hits; and_exists_hit_rate; split_memo_hits; subset_states;
-      gc_runs; gc_nodes_swept; gc_dead_ratio; completed } )
+      csf_time_s; csf_worklist_deletions; gc_runs; gc_nodes_swept;
+      gc_dead_ratio; completed } )
 
 let run_row ?(time_limit = default_time_limit)
     ?(node_limit = default_node_limit) ?retries ?fallback
@@ -171,6 +185,8 @@ let method_stats_fields (s : method_stats) =
     ("and_exists_hit_rate", Obs.Json.Float s.and_exists_hit_rate);
     ("split_memo_hits", Obs.Json.Int s.split_memo_hits);
     ("subset_states", Obs.Json.Int s.subset_states);
+    ("csf_time_s", Obs.Json.Float s.csf_time_s);
+    ("csf_worklist_deletions", Obs.Json.Int s.csf_worklist_deletions);
     ("gc_runs", Obs.Json.Int s.gc_runs);
     ("gc_nodes_swept", Obs.Json.Int s.gc_nodes_swept);
     ("gc_dead_ratio", Obs.Json.Float s.gc_dead_ratio);

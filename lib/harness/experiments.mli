@@ -19,6 +19,12 @@ type method_stats = {
   split_memo_hits : int;
       (** successor-splitting memo hits ([Subset.split_memo_hits] delta) *)
   subset_states : int;
+  csf_time_s : float;
+      (** CPU seconds spent in the [Csf] phase ([phase.csf] timer delta);
+          [0.] when observability was disabled *)
+  csf_worklist_deletions : int;
+      (** state deletions the worklist CSF extraction performed
+          ([csf.worklist_deletions] delta) *)
   gc_runs : int;  (** mark-and-sweep collections over the solve *)
   gc_nodes_swept : int;  (** nodes reclaimed by those collections *)
   gc_dead_ratio : float;
@@ -82,7 +88,8 @@ val bench_json :
     "node_limit":..., "circuits":[{"name":..., "time_s":..., "peak_nodes":...,
     "image_calls":..., "cache_hit_rate":..., "and_exists_lookups":...,
     "and_exists_hits":..., "and_exists_hit_rate":..., "split_memo_hits":...,
-    "subset_states":..., "gc_runs":..., "gc_nodes_swept":...,
+    "subset_states":..., "csf_time_s":..., "csf_worklist_deletions":...,
+    "gc_runs":..., "gc_nodes_swept":...,
     "gc_dead_ratio":..., "completed":..., "monolithic":{...}}]}]. Per-circuit
     fields describe the partitioned flow; the nested ["monolithic"] object
     carries the same fields for the monolithic flow. Image-call counts and

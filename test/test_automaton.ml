@@ -484,6 +484,25 @@ let build_auto man a b d =
     ~accepting:(Array.of_list d.d_accepting)
     ~edges ()
 
+(* Regression: with every state accepting (or every state rejecting) the
+   initial acceptance partition has one class, not two; the refinement
+   used to count two, mistake its first split for stability, and stop a
+   pass early — quotients computed against the never-rechecked partition
+   could change the language. *)
+let test_bisim_uniform_acceptance () =
+  let man, a, b = setup () in
+  let t =
+    build_auto man a b
+      { d_states = 3;
+        d_accepting = [ true; true; true ];
+        d_edges =
+          [ (0, 12, 1); (1, 9, 0); (1, 14, 0); (2, 13, 0); (0, 13, 0);
+            (0, 10, 2) ] }
+  in
+  let q = Fsa.Minimize.bisimulation_quotient t in
+  Alcotest.(check bool) "language preserved" true
+    (words_set t ~max_len:3 = words_set q ~max_len:3)
+
 let prop_theorem1 =
   QCheck.Test.make ~count:150
     ~name:"Theorem 1: Complete(Det(A)) = Det(Complete(A))" auto_arb (fun d ->
@@ -646,6 +665,8 @@ let () =
           Alcotest.test_case "support noop" `Quick test_change_support_noop;
           Alcotest.test_case "bisimulation quotient" `Quick
             test_bisimulation_quotient;
+          Alcotest.test_case "bisim uniform acceptance" `Quick
+            test_bisim_uniform_acceptance;
           Alcotest.test_case "boolean ops" `Quick test_boolean_ops;
           Alcotest.test_case "aut roundtrip" `Quick test_aut_roundtrip;
           Alcotest.test_case "aut errors" `Quick test_aut_errors;

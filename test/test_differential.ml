@@ -97,6 +97,26 @@ let mismatch_gc p =
          (E.Csf.num_states reference))
   else None
 
+(* Worklist-vs-sweep CSF oracle: the arena worklist extraction
+   ([Csf.of_arena], the solve path) must be language-equivalent to the
+   sweep-based reference ([Csf.csf_sweep]) on the arenas both engine
+   oracles produce. *)
+let mismatch_worklist p =
+  let _, prob = E.Split.problem (netlist p) ~x_latches:(x_latches p) in
+  let check name arena =
+    let worklist, _ = E.Csf.of_arena prob arena in
+    let sweep = E.Csf.csf_sweep prob (E.Engine.to_automaton arena) in
+    if not (Fsa.Language.equivalent worklist sweep) then
+      Some
+        (Printf.sprintf
+           "%s: worklist CSF differs from sweep CSF (%d vs %d states)"
+           name (E.Csf.num_states worklist) (E.Csf.num_states sweep))
+    else None
+  in
+  match check "partitioned" (fst (E.Partitioned.solve_arena prob)) with
+  | Some _ as m -> m
+  | None -> check "monolithic" (fst (E.Monolithic.solve_arena prob))
+
 (* Shrink a failing instance by dropping latches (3 is the floor: the X
    component always takes two). [failing] reports why an instance fails,
    or [None]; the returned instance still fails. *)
@@ -171,6 +191,19 @@ let test_clusterings_agree () =
            (describe p') msg' (describe p))
   done
 
+let test_worklist_agrees () =
+  for i = 0 to n_instances - 1 do
+    let p = instance i in
+    match mismatch_worklist p with
+    | None -> ()
+    | Some msg ->
+      let p', msg' = shrink ~failing:mismatch_worklist p msg in
+      Alcotest.fail
+        (Printf.sprintf
+           "CSF extractions disagree on [%s]: %s (shrunk from [%s])"
+           (describe p') msg' (describe p))
+  done
+
 let test_gc_agrees () =
   gc_collections := 0;
   for i = 0 to n_instances - 1 do
@@ -215,6 +248,10 @@ let () =
         [ Alcotest.test_case
             (Printf.sprintf "%d random netlists" n_instances)
             `Slow test_clusterings_agree ] );
+      ( "worklist vs sweep csf",
+        [ Alcotest.test_case
+            (Printf.sprintf "%d random netlists" n_instances)
+            `Slow test_worklist_agrees ] );
       ( "gc-on vs gc-off",
         [ Alcotest.test_case
             (Printf.sprintf "%d random netlists" n_instances)

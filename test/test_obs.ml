@@ -171,6 +171,27 @@ let test_counters_and_gauges () =
       Alcotest.(check int) "reset zeroes counters" 0 (Obs.Counter.value c);
       Alcotest.(check int) "reset zeroes gauges" 0 (Obs.Gauge.value g))
 
+(* Regression: "subset.states_expanded" and "image.calls" used to be
+   registered separately by the partitioned and monolithic flows; the
+   engine is now their single registration point, and re-registering the
+   same name anywhere must hand back the same counter — a bump through
+   one handle is visible through the other. *)
+let test_engine_counters_shared () =
+  with_obs (fun () ->
+      List.iter
+        (fun name ->
+          let a = Obs.Counter.make name in
+          let b = Obs.Counter.make name in
+          Obs.Counter.bump a;
+          Alcotest.(check int) (name ^ ": handles share one value") 1
+            (Obs.Counter.value b);
+          Alcotest.(check int) (name ^ ": one registry entry") 1
+            (List.length
+               (List.filter
+                  (fun (n, _) -> n = name)
+                  (Obs.Counter.all ()))))
+        [ "subset.states_expanded"; "image.calls"; "csf.worklist_deletions" ])
+
 let test_disabled_is_inert () =
   Obs.set_enabled false;
   Obs.reset ();
@@ -296,7 +317,14 @@ let test_solve_populates_counters () =
             (Obs.Counter.find name > 0))
         [ "bdd.mk_calls"; "bdd.nodes_created"; "bdd.cache.lookups";
           "image.calls"; "image.conjunctions"; "subset.split_calls";
-          "subset.arcs"; "subset.states_expanded"; "csf.passes" ];
+          "subset.arcs"; "subset.states_expanded" ];
+      (* the worklist CSF replaced the sweeps in the solve path: it only
+         counts deletions (possibly zero), so the counter must be
+         registered but csf.passes stays untouched *)
+      Alcotest.(check bool) "csf.worklist_deletions registered" true
+        (List.mem_assoc "csf.worklist_deletions" (Obs.Counter.all ()));
+      Alcotest.(check int) "csf.passes untouched by solve" 0
+        (Obs.Counter.find "csf.passes");
       Alcotest.(check bool) "peak nodes tracked" true
         (Obs.Gauge.find "bdd.peak_nodes" > 0);
       Alcotest.(check bool) "cache hits cannot exceed lookups" true
@@ -353,6 +381,8 @@ let () =
     [ ( "registry",
         [ Alcotest.test_case "counters and gauges" `Quick
             test_counters_and_gauges;
+          Alcotest.test_case "engine counters shared" `Quick
+            test_engine_counters_shared;
           Alcotest.test_case "disabled is inert" `Quick test_disabled_is_inert
         ] );
       ( "spans",
